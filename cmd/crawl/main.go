@@ -1,0 +1,79 @@
+// Command crawl runs the persistency crawler and the security-header
+// survey over the synthetic Alexa population (Fig. 3 / Fig. 5 data).
+//
+//	crawl -sites 15000 -days 100
+//	crawl -survey-only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"masterparasite/internal/crawler"
+	"masterparasite/internal/webcorpus"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("crawl", flag.ContinueOnError)
+	sites := fs.Int("sites", webcorpus.DefaultSites, "population size")
+	days := fs.Int("days", webcorpus.StudyDays, "study duration in days")
+	seed := fs.Int64("seed", 1, "corpus seed")
+	surveyOnly := fs.Bool("survey-only", false, "only run the header survey")
+	targets := fs.Bool("targets", false, "list per-site infection targets (name-stable scripts)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	corpus := webcorpus.Generate(webcorpus.Params{Sites: *sites, Seed: *seed})
+	fmt.Printf("corpus: %d sites (seed %d)\n\n", *sites, *seed)
+
+	survey := crawler.SurveyHeaders(corpus)
+	fmt.Printf("responders:        %d\n", survey.Responders)
+	fmt.Printf("no HTTPS:          %.2f%%\n", survey.NoHTTPSShare)
+	fmt.Printf("vulnerable SSL:    %.2f%%\n", survey.VulnSSLShare)
+	fmt.Printf("no HSTS:           %.2f%% (preloaded: %d, strippable: %.2f%%)\n",
+		survey.NoHSTSShare, survey.PreloadCount, survey.StrippableShare)
+	fmt.Printf("CSP header:        %.2f%% (deprecated: %.1f%%, versions: %v)\n",
+		survey.CSPHeaderShare, survey.DeprecatedShare, survey.VersionCounts)
+	fmt.Printf("connect-src:       %d uses, %d wildcards\n",
+		survey.ConnectSrcUses, survey.ConnectSrcStar)
+	fmt.Printf("shared analytics:  %.1f%%\n\n", crawler.AnalyticsShare(corpus))
+
+	if *surveyOnly {
+		return nil
+	}
+
+	fmt.Printf("running daily crawl over %d days...\n", *days)
+	res := crawler.CrawlPersistency(corpus, *days)
+	fmt.Printf("%-6s %-10s %-18s %-18s\n", "day", "any .js", "persistent(hash)", "persistent(name)")
+	for _, day := range []int{0, 1, 2, 5, 10, 20, 40, 60, 80, *days} {
+		if day > *days {
+			continue
+		}
+		p := res.At(day)
+		fmt.Printf("%-6d %-10.2f %-18.2f %-18.2f\n", p.Day, p.AnyJS, p.PersistentHash, p.PersistentName)
+	}
+
+	if *targets {
+		sel := crawler.SelectTargets(corpus, *days)
+		fmt.Printf("\nsites with whole-window name-stable scripts: %d\n", len(sel))
+		shown := 0
+		for host, names := range sel {
+			fmt.Printf("  %s: %v\n", host, names)
+			shown++
+			if shown >= 10 {
+				fmt.Printf("  ... (%d more)\n", len(sel)-shown)
+				break
+			}
+		}
+	}
+	return nil
+}

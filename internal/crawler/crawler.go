@@ -1,0 +1,268 @@
+// Package crawler implements the paper's measurement tooling: the daily
+// persistency crawler behind Fig. 3 ("we develop a web crawler to collect
+// statistics over 15K-top Alexa pages ... collect hashes over the files
+// and names ... ran daily over a period of 100 days") and the security-
+// header survey behind Fig. 5 and the §V/§VIII statistics.
+//
+// The crawler consumes rendered pages — it parses HTML and response
+// headers exactly as a crawler over the live web would — with the
+// synthetic corpus standing in for the Alexa population.
+package crawler
+
+import (
+	"strings"
+
+	"masterparasite/internal/browser"
+	"masterparasite/internal/dom"
+	"masterparasite/internal/webcorpus"
+)
+
+// PersistencyPoint is one measurement day of Fig. 3.
+type PersistencyPoint struct {
+	Day int
+	// AnyJS is the share of sites serving at least one external script.
+	AnyJS float64
+	// PersistentName is the share of sites with at least one script whose
+	// *name* has survived since day 0 — the attacker-relevant identity,
+	// because caches key by name.
+	PersistentName float64
+	// PersistentHash is the share with at least one script unchanged in
+	// *content* since day 0.
+	PersistentHash float64
+}
+
+// PersistencyResult is the Fig. 3 dataset.
+type PersistencyResult struct {
+	Sites  int
+	Points []PersistencyPoint
+}
+
+// At returns the point for a day (or the last one before it).
+func (r *PersistencyResult) At(day int) PersistencyPoint {
+	out := r.Points[0]
+	for _, p := range r.Points {
+		if p.Day <= day {
+			out = p
+		}
+	}
+	return out
+}
+
+// scriptObs is what the crawler extracts from one page: script names and
+// content hashes.
+type scriptObs struct {
+	names  map[string]bool
+	hashes map[string]string // name → hash
+}
+
+// crawlDay fetches and parses one site's page for a day. Only same-site
+// scripts are counted for the persistence study; shared third-party files
+// (the analytics vector of §VI-B1) are tracked separately because they
+// would otherwise dominate the statistic.
+func crawlDay(site *webcorpus.Site, day int) (scriptObs, bool) {
+	resp := site.RenderPage(day)
+	if resp.StatusCode != 200 {
+		return scriptObs{}, false
+	}
+	doc := dom.ParseHTML(site.Host+"/", resp.Body)
+	obs := scriptObs{names: make(map[string]bool), hashes: make(map[string]string)}
+	for _, el := range doc.FindByTag("script") {
+		src := strings.TrimPrefix(el.Attr("src"), "//")
+		if src == "" || !strings.HasSuffix(strings.SplitN(src, "?", 2)[0], ".js") {
+			continue
+		}
+		if !strings.HasPrefix(src, site.Host+"/") {
+			continue // third-party
+		}
+		obs.names[src] = true
+		obs.hashes[src] = el.Attr("data-hash")
+	}
+	return obs, true
+}
+
+// CrawlPersistency runs the daily crawl for the given number of days and
+// produces the Fig. 3 curves.
+func CrawlPersistency(c *webcorpus.Corpus, days int) *PersistencyResult {
+	if days <= 0 {
+		days = webcorpus.StudyDays
+	}
+	type baseline struct {
+		obs scriptObs
+		ok  bool
+	}
+	baselines := make([]baseline, len(c.Sites))
+	crawled := 0
+	for i, s := range c.Sites {
+		obs, ok := crawlDay(s, 0)
+		baselines[i] = baseline{obs: obs, ok: ok}
+		if ok {
+			crawled++
+		}
+	}
+	// Percentages are over successfully crawled sites, as in the paper
+	// (its statistics are over the 13,419 responders).
+	res := &PersistencyResult{Sites: crawled}
+	for day := 0; day <= days; day++ {
+		var anyJS, persName, persHash int
+		for i, s := range c.Sites {
+			if !baselines[i].ok {
+				continue
+			}
+			obs, ok := crawlDay(s, day)
+			if !ok {
+				continue
+			}
+			if len(obs.names) > 0 {
+				anyJS++
+			}
+			name := false
+			hash := false
+			for n := range baselines[i].obs.names {
+				if obs.names[n] {
+					name = true
+					if obs.hashes[n] == baselines[i].obs.hashes[n] {
+						hash = true
+						break
+					}
+				}
+			}
+			if name {
+				persName++
+			}
+			if hash {
+				persHash++
+			}
+		}
+		n := float64(crawled)
+		res.Points = append(res.Points, PersistencyPoint{
+			Day:            day,
+			AnyJS:          100 * float64(anyJS) / n,
+			PersistentName: 100 * float64(persName) / n,
+			PersistentHash: 100 * float64(persHash) / n,
+		})
+	}
+	return res
+}
+
+// SelectTargets returns, per site, the scripts that remained name-stable
+// over the whole window — "these scripts are perfect targets to be
+// infected with parasites" (§VI-A).
+func SelectTargets(c *webcorpus.Corpus, window int) map[string][]string {
+	out := make(map[string][]string)
+	for _, s := range c.Sites {
+		base, ok := crawlDay(s, 0)
+		if !ok {
+			continue
+		}
+		last, ok := crawlDay(s, window)
+		if !ok {
+			continue
+		}
+		for n := range base.names {
+			if last.names[n] {
+				out[s.Host] = append(out[s.Host], n)
+			}
+		}
+	}
+	return out
+}
+
+// HeaderSurvey is the Fig. 5 + §V dataset.
+type HeaderSurvey struct {
+	Sites      int
+	Responders int
+
+	// §V Discussion (100K-top measurement, same shares).
+	NoHTTPSShare float64 // % of sites with no HTTPS at all
+	VulnSSLShare float64 // % with SSL2.0/SSL3.0
+
+	// §V HSTS measurement (of responders).
+	NoHSTSCount     int
+	NoHSTSShare     float64
+	PreloadCount    int
+	StrippableShare float64 // responders not preloaded: SSL-strippable
+
+	// Fig. 5 CSP statistics.
+	CSPHeaderShare  float64 // % of pages supplying any CSP header
+	CSPRulesShare   float64 // % supplying actual rules
+	DeprecatedShare float64 // % of CSP pages on deprecated headers
+	VersionCounts   map[string]int
+	ConnectSrcUses  int
+	ConnectSrcStar  int
+}
+
+// SurveyHeaders crawls every responding site's front page once and
+// tallies the security-header statistics.
+func SurveyHeaders(c *webcorpus.Corpus) *HeaderSurvey {
+	s := &HeaderSurvey{Sites: len(c.Sites), VersionCounts: make(map[string]int)}
+	var noHTTPS, vulnSSL int
+	var cspAny, cspRules, cspDeprecated int
+	for _, site := range c.Sites {
+		switch site.SSL {
+		case webcorpus.SSLNone:
+			noHTTPS++
+		case webcorpus.SSLv2, webcorpus.SSLv3:
+			vulnSSL++
+		}
+		resp := site.RenderPage(0)
+		if resp.StatusCode != 200 {
+			continue
+		}
+		s.Responders++
+		if !resp.Header.Has("Strict-Transport-Security") {
+			s.NoHSTSCount++
+		}
+		if site.HSTSPreload {
+			s.PreloadCount++
+		}
+		csp := browser.CSPFromHeaders(resp.Header.Get)
+		if csp.Present {
+			cspAny++
+			if len(csp.Directives) > 0 {
+				cspRules++
+			}
+			if csp.Deprecated {
+				cspDeprecated++
+				if resp.Header.Get(browser.CSPHeaderDeprecated) != "" {
+					s.VersionCounts["X-CSP"]++
+				} else {
+					s.VersionCounts["X-Webkit-CSP"]++
+				}
+			} else {
+				s.VersionCounts["CSP"]++
+			}
+			if csp.HasDirective("connect-src") {
+				s.ConnectSrcUses++
+				if csp.Wildcard("connect-src") {
+					s.ConnectSrcStar++
+				}
+			}
+		}
+	}
+	n := float64(s.Sites)
+	s.NoHTTPSShare = 100 * float64(noHTTPS) / n
+	s.VulnSSLShare = 100 * float64(vulnSSL) / n
+	if s.Responders > 0 {
+		r := float64(s.Responders)
+		s.NoHSTSShare = 100 * float64(s.NoHSTSCount) / r
+		s.StrippableShare = 100 * float64(s.Responders-s.PreloadCount) / r
+	}
+	s.CSPHeaderShare = 100 * float64(cspAny) / n
+	s.CSPRulesShare = 100 * float64(cspRules) / n
+	if cspAny > 0 {
+		s.DeprecatedShare = 100 * float64(cspDeprecated) / float64(cspAny)
+	}
+	return s
+}
+
+// AnalyticsShare measures the §VI-B1 shared-file statistic: the fraction
+// of sites embedding the shared analytics script.
+func AnalyticsShare(c *webcorpus.Corpus) float64 {
+	n := 0
+	for _, s := range c.Sites {
+		if s.UsesGoogleAnalytics {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(c.Sites))
+}

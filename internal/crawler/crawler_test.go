@@ -1,0 +1,197 @@
+package crawler
+
+import (
+	"math"
+	"testing"
+
+	"masterparasite/internal/webcorpus"
+)
+
+// testCorpus is used for the (expensive) daily-crawl tests; 3000 sites
+// keeps the statistics tight enough (±2.5%) while staying fast.
+func testCorpus() *webcorpus.Corpus {
+	return webcorpus.Generate(webcorpus.Params{Sites: 3000, Seed: 11})
+}
+
+// headerCorpus is larger: the survey crawls each site once, so a bigger
+// sample sharpens the small CSP population's statistics.
+func headerCorpus() *webcorpus.Corpus {
+	return webcorpus.Generate(webcorpus.Params{Sites: 12000, Seed: 13})
+}
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.2f, want %.2f ± %.1f", name, got, want, tol)
+	}
+}
+
+func TestPersistencyCurveShape(t *testing.T) {
+	c := testCorpus()
+	res := CrawlPersistency(c, 100)
+	if len(res.Points) != 101 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	p5, p100 := res.At(5), res.At(100)
+
+	// Fig. 3 anchors: ≈87.5% name-persistent at 5 days, ≈75.3% at 100.
+	within(t, "persistent(name) day 5", p5.PersistentName, 87.5, 2.5)
+	within(t, "persistent(name) day 100", p100.PersistentName, 75.3, 2.5)
+
+	// The hash curve sits at or below the name curve everywhere: a file
+	// cannot be content-stable under a changed name (our generator ties
+	// content generation to renames).
+	for _, p := range res.Points {
+		if p.PersistentHash > p.PersistentName+1e-9 {
+			t.Fatalf("day %d: hash %.2f above name %.2f", p.Day, p.PersistentHash, p.PersistentName)
+		}
+		if p.PersistentName > p.AnyJS+1e-9 {
+			t.Fatalf("day %d: name %.2f above anyJS %.2f", p.Day, p.PersistentName, p.AnyJS)
+		}
+	}
+
+	// Monotone (non-increasing) persistence.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].PersistentName > res.Points[i-1].PersistentName+1e-9 {
+			t.Fatalf("persistence increased at day %d", res.Points[i].Day)
+		}
+	}
+
+	// AnyJS stays roughly flat near 88-89%.
+	within(t, "any .js day 100", p100.AnyJS, 88.5, 2.5)
+}
+
+func TestPersistencyDeterministic(t *testing.T) {
+	a := CrawlPersistency(webcorpus.Generate(webcorpus.Params{Sites: 200, Seed: 5}), 10)
+	b := CrawlPersistency(webcorpus.Generate(webcorpus.Params{Sites: 200, Seed: 5}), 10)
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("day %d differs between identical corpora", i)
+		}
+	}
+}
+
+func TestSelectTargetsStableNames(t *testing.T) {
+	c := webcorpus.Generate(webcorpus.Params{Sites: 300, Seed: 3})
+	targets := SelectTargets(c, 30)
+	if len(targets) == 0 {
+		t.Fatal("no targets selected")
+	}
+	// Every selected target must really be name-stable over the window.
+	for host, names := range targets {
+		var site *webcorpus.Site
+		for _, s := range c.Sites {
+			if s.Host == host {
+				site = s
+				break
+			}
+		}
+		if site == nil {
+			t.Fatalf("target host %s not in corpus", host)
+		}
+		day30 := make(map[string]bool)
+		for _, o := range site.ObjectsOn(30) {
+			day30[o.Name] = true
+		}
+		for _, n := range names {
+			if !day30[n] {
+				t.Fatalf("selected target %s absent on day 30", n)
+			}
+		}
+	}
+}
+
+func TestHeaderSurveyMarginals(t *testing.T) {
+	s := SurveyHeaders(headerCorpus())
+
+	// §V: 21% no HTTPS, ~7% vulnerable SSL.
+	within(t, "no-HTTPS share", s.NoHTTPSShare, 21, 2.5)
+	within(t, "vulnerable SSL share", s.VulnSSLShare, 7, 1.5)
+
+	// §V: 67.92% of responders without HSTS; preload rare; ~96.6%
+	// SSL-strippable.
+	within(t, "no-HSTS share", s.NoHSTSShare, 67.92, 3.0)
+	within(t, "strippable share", s.StrippableShare, 96.59, 1.5)
+	if s.PreloadCount == 0 {
+		t.Error("no preloaded sites at all")
+	}
+
+	// Fig. 5: ~4.7% supply CSP, ~15.3% of those deprecated.
+	within(t, "CSP header share", s.CSPHeaderShare, 4.7, 1.2)
+	within(t, "deprecated CSP share", s.DeprecatedShare, 15.3, 7.0)
+	if s.ConnectSrcUses == 0 {
+		t.Error("no connect-src usage observed")
+	}
+	if s.ConnectSrcStar == 0 {
+		t.Error("no connect-src wildcard observed")
+	}
+	if s.ConnectSrcStar >= s.ConnectSrcUses {
+		t.Error("wildcards exceed total connect-src uses")
+	}
+	if s.VersionCounts["CSP"] == 0 {
+		t.Error("no modern CSP observed")
+	}
+
+	// Responders ≈ 89.5% (13419/15000 in the paper).
+	within(t, "responder share", 100*float64(s.Responders)/float64(s.Sites), 89.46, 2.0)
+}
+
+func TestAnalyticsShare(t *testing.T) {
+	got := AnalyticsShare(testCorpus())
+	within(t, "analytics share", got, 63, 3.0)
+}
+
+func TestCorpusDeterminism(t *testing.T) {
+	a := webcorpus.Generate(webcorpus.Params{Sites: 50, Seed: 9})
+	b := webcorpus.Generate(webcorpus.Params{Sites: 50, Seed: 9})
+	for i := range a.Sites {
+		ao, bo := a.Sites[i].ObjectsOn(37), b.Sites[i].ObjectsOn(37)
+		if len(ao) != len(bo) {
+			t.Fatal("object count differs")
+		}
+		for j := range ao {
+			if ao[j] != bo[j] {
+				t.Fatalf("site %d object %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRenamedObjectChangesNameAndHash(t *testing.T) {
+	c := webcorpus.Generate(webcorpus.Params{Sites: 100, Seed: 2})
+	foundRename := false
+	for _, s := range c.Sites {
+		d0 := s.ObjectsOn(0)
+		d99 := s.ObjectsOn(99)
+		names99 := make(map[string]string)
+		for _, o := range d99 {
+			names99[o.Name] = o.Hash
+		}
+		for i, o := range d0 {
+			if h, ok := names99[o.Name]; ok && h == o.Hash {
+				continue
+			}
+			_ = i
+			foundRename = true
+		}
+	}
+	if !foundRename {
+		t.Fatal("no churn in 100 sites over 99 days — generator broken")
+	}
+}
+
+func TestNonRespondingSiteCrawl(t *testing.T) {
+	c := webcorpus.Generate(webcorpus.Params{Sites: 400, Seed: 8})
+	nonResponders := 0
+	for _, s := range c.Sites {
+		if !s.Responds {
+			nonResponders++
+			if s.RenderPage(0).StatusCode == 200 {
+				t.Fatal("non-responder served a page")
+			}
+		}
+	}
+	if nonResponders == 0 {
+		t.Fatal("every site responds; responder modelling missing")
+	}
+}

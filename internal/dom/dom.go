@@ -1,0 +1,305 @@
+// Package dom implements the minimal document object model that the
+// parasite scripts manipulate (§VII): an element tree parsed from HTML,
+// attribute access, form input fields with hookable submit events, iframe
+// and resource discovery, and serialisation. "JS has complete read and
+// write access to the DOM, and the submit events can be hooked" — this
+// package provides exactly that capability surface.
+package dom
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// voidTags never contain children.
+var voidTags = map[string]bool{
+	"img": true, "link": true, "input": true, "meta": true,
+	"br": true, "hr": true, "source": true,
+}
+
+// Element is one node in the document tree.
+type Element struct {
+	Tag      string
+	Attrs    map[string]string
+	Children []*Element
+	Text     string // text content directly inside this element
+	parent   *Element
+}
+
+// NewElement creates a detached element.
+func NewElement(tag string) *Element {
+	return &Element{Tag: strings.ToLower(tag), Attrs: make(map[string]string)}
+}
+
+// Attr returns an attribute value ("" when absent).
+func (e *Element) Attr(name string) string { return e.Attrs[strings.ToLower(name)] }
+
+// SetAttr sets an attribute.
+func (e *Element) SetAttr(name, value string) {
+	if e.Attrs == nil {
+		e.Attrs = make(map[string]string)
+	}
+	e.Attrs[strings.ToLower(name)] = value
+}
+
+// Append adds child to e, detaching it from any previous parent.
+func (e *Element) Append(child *Element) {
+	if child.parent != nil {
+		child.parent.RemoveChild(child)
+	}
+	child.parent = e
+	e.Children = append(e.Children, child)
+}
+
+// RemoveChild detaches child from e.
+func (e *Element) RemoveChild(child *Element) {
+	for i, c := range e.Children {
+		if c == child {
+			e.Children = append(e.Children[:i], e.Children[i+1:]...)
+			child.parent = nil
+			return
+		}
+	}
+}
+
+// Parent returns the parent element (nil for roots).
+func (e *Element) Parent() *Element { return e.parent }
+
+// Walk visits e and every descendant in document order.
+func (e *Element) Walk(fn func(*Element)) {
+	fn(e)
+	for _, c := range e.Children {
+		c.Walk(fn)
+	}
+}
+
+// Find returns all descendants (including e) matching pred.
+func (e *Element) Find(pred func(*Element) bool) []*Element {
+	var out []*Element
+	e.Walk(func(el *Element) {
+		if pred(el) {
+			out = append(out, el)
+		}
+	})
+	return out
+}
+
+// TextContent concatenates the element's text and all descendant text.
+func (e *Element) TextContent() string {
+	var b strings.Builder
+	e.Walk(func(el *Element) { b.WriteString(el.Text) })
+	return b.String()
+}
+
+// Document is a parsed page.
+type Document struct {
+	URL  string
+	Root *Element
+
+	submitHooks map[string][]SubmitHook // form id → hooks (parasite's hooks run first)
+	onSubmit    map[string]func(map[string]string)
+}
+
+// SubmitHook observes and may mutate form values before native submission.
+// Returning false cancels the submission — used by the transaction-
+// manipulation attack to swap in the attacker's transfer while showing the
+// user their own (§VII).
+type SubmitHook func(values map[string]string) bool
+
+// NewDocument creates an empty document with the html/head/body skeleton.
+func NewDocument(url string) *Document {
+	root := NewElement("html")
+	root.Append(NewElement("head"))
+	root.Append(NewElement("body"))
+	return &Document{URL: url, Root: root,
+		submitHooks: make(map[string][]SubmitHook),
+		onSubmit:    make(map[string]func(map[string]string))}
+}
+
+// Head returns the <head> element.
+func (d *Document) Head() *Element {
+	els := d.Root.Find(func(e *Element) bool { return e.Tag == "head" })
+	if len(els) == 0 {
+		h := NewElement("head")
+		d.Root.Append(h)
+		return h
+	}
+	return els[0]
+}
+
+// Body returns the <body> element.
+func (d *Document) Body() *Element {
+	els := d.Root.Find(func(e *Element) bool { return e.Tag == "body" })
+	if len(els) == 0 {
+		b := NewElement("body")
+		d.Root.Append(b)
+		return b
+	}
+	return els[0]
+}
+
+// FindByID returns the first element with the given id.
+func (d *Document) FindByID(id string) *Element {
+	els := d.Root.Find(func(e *Element) bool { return e.Attr("id") == id })
+	if len(els) == 0 {
+		return nil
+	}
+	return els[0]
+}
+
+// FindByTag returns all elements with the given tag.
+func (d *Document) FindByTag(tag string) []*Element {
+	tag = strings.ToLower(tag)
+	return d.Root.Find(func(e *Element) bool { return e.Tag == tag })
+}
+
+// ResourceKind classifies subresources a page pulls in.
+type ResourceKind int
+
+// Resource kinds, in the order a loader fetches them.
+const (
+	ResScript ResourceKind = iota + 1
+	ResImage
+	ResStylesheet
+	ResIframe
+)
+
+// String names the kind.
+func (k ResourceKind) String() string {
+	switch k {
+	case ResScript:
+		return "script"
+	case ResImage:
+		return "img"
+	case ResStylesheet:
+		return "stylesheet"
+	case ResIframe:
+		return "iframe"
+	default:
+		return "unknown"
+	}
+}
+
+// Resource is one subresource reference found in the document.
+type Resource struct {
+	Kind ResourceKind
+	URL  string
+	El   *Element
+}
+
+// Resources lists subresource references in document order.
+func (d *Document) Resources() []Resource {
+	var out []Resource
+	d.Root.Walk(func(e *Element) {
+		switch e.Tag {
+		case "script":
+			if src := e.Attr("src"); src != "" {
+				out = append(out, Resource{Kind: ResScript, URL: src, El: e})
+			}
+		case "img":
+			if src := e.Attr("src"); src != "" {
+				out = append(out, Resource{Kind: ResImage, URL: src, El: e})
+			}
+		case "link":
+			if e.Attr("rel") == "stylesheet" && e.Attr("href") != "" {
+				out = append(out, Resource{Kind: ResStylesheet, URL: e.Attr("href"), El: e})
+			}
+		case "iframe":
+			if src := e.Attr("src"); src != "" {
+				out = append(out, Resource{Kind: ResIframe, URL: src, El: e})
+			}
+		}
+	})
+	return out
+}
+
+// Forms returns all form elements.
+func (d *Document) Forms() []*Element { return d.FindByTag("form") }
+
+// FormValues collects the input name→value pairs of a form element.
+func FormValues(form *Element) map[string]string {
+	values := make(map[string]string)
+	form.Walk(func(e *Element) {
+		if e.Tag == "input" || e.Tag == "textarea" || e.Tag == "select" {
+			if name := e.Attr("name"); name != "" {
+				values[name] = e.Attr("value")
+			}
+		}
+	})
+	return values
+}
+
+// SetFormValue sets the value of the named input inside form.
+func SetFormValue(form *Element, name, value string) bool {
+	ok := false
+	form.Walk(func(e *Element) {
+		if (e.Tag == "input" || e.Tag == "textarea") && e.Attr("name") == name {
+			e.SetAttr("value", value)
+			ok = true
+		}
+	})
+	return ok
+}
+
+// HookSubmit registers a hook that runs before native submission of the
+// form with the given id. Hooks run in registration order; any hook
+// returning false cancels the submission.
+func (d *Document) HookSubmit(formID string, hook SubmitHook) {
+	d.submitHooks[formID] = append(d.submitHooks[formID], hook)
+}
+
+// OnSubmit installs the application's native submit handler for a form.
+func (d *Document) OnSubmit(formID string, fn func(values map[string]string)) {
+	d.onSubmit[formID] = fn
+}
+
+// Submit simulates the user submitting the form: hooks observe/mutate the
+// values, then the native handler receives the (possibly mutated) result.
+// It returns the values actually submitted and whether submission ran.
+func (d *Document) Submit(formID string) (map[string]string, bool, error) {
+	form := d.FindByID(formID)
+	if form == nil || form.Tag != "form" {
+		return nil, false, fmt.Errorf("dom: no form with id %q", formID)
+	}
+	values := FormValues(form)
+	for _, hook := range d.submitHooks[formID] {
+		if !hook(values) {
+			return values, false, nil
+		}
+	}
+	if fn, ok := d.onSubmit[formID]; ok && fn != nil {
+		fn(values)
+	}
+	return values, true, nil
+}
+
+// HTML serialises the document.
+func (d *Document) HTML() []byte {
+	var b bytes.Buffer
+	writeElement(&b, d.Root)
+	return b.Bytes()
+}
+
+func writeElement(b *bytes.Buffer, e *Element) {
+	b.WriteByte('<')
+	b.WriteString(e.Tag)
+	keys := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, " %s=%q", k, e.Attrs[k])
+	}
+	b.WriteByte('>')
+	if voidTags[e.Tag] {
+		return
+	}
+	b.WriteString(e.Text)
+	for _, c := range e.Children {
+		writeElement(b, c)
+	}
+	fmt.Fprintf(b, "</%s>", e.Tag)
+}

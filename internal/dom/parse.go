@@ -1,0 +1,163 @@
+package dom
+
+import (
+	"strings"
+)
+
+// ParseHTML builds a document from HTML bytes. The parser is tolerant:
+// unclosed tags are closed at end of input, mismatched closers pop to the
+// nearest matching ancestor, and attribute values may be quoted with
+// single quotes, double quotes, or nothing. It is sufficient for the
+// synthetic corpus and the simulated applications — and, importantly, for
+// whatever bytes an attacker injects.
+func ParseHTML(url string, content []byte) *Document {
+	d := &Document{URL: url,
+		submitHooks: make(map[string][]SubmitHook),
+		onSubmit:    make(map[string]func(map[string]string))}
+	root := NewElement("html")
+	d.Root = root
+
+	stack := []*Element{root}
+	top := func() *Element { return stack[len(stack)-1] }
+
+	s := string(content)
+	i := 0
+	for i < len(s) {
+		lt := strings.IndexByte(s[i:], '<')
+		if lt < 0 {
+			top().Text += s[i:]
+			break
+		}
+		if lt > 0 {
+			top().Text += s[i : i+lt]
+			i += lt
+		}
+		gt := strings.IndexByte(s[i:], '>')
+		if gt < 0 {
+			top().Text += s[i:]
+			break
+		}
+		tag := s[i+1 : i+gt]
+		i += gt + 1
+		switch {
+		case strings.HasPrefix(tag, "!--"):
+			// Comment: skip to the closing marker if the '>' we found was
+			// not it.
+			if !strings.HasSuffix(tag, "--") {
+				if end := strings.Index(s[i:], "-->"); end >= 0 {
+					i += end + 3
+				} else {
+					i = len(s)
+				}
+			}
+		case strings.HasPrefix(tag, "!"):
+			// Doctype: ignore.
+		case strings.HasPrefix(tag, "/"):
+			name := strings.ToLower(strings.TrimSpace(tag[1:]))
+			for n := len(stack) - 1; n > 0; n-- {
+				if stack[n].Tag == name {
+					stack = stack[:n]
+					break
+				}
+			}
+		default:
+			selfClose := strings.HasSuffix(tag, "/")
+			if selfClose {
+				tag = strings.TrimSuffix(tag, "/")
+			}
+			el := parseTag(tag)
+			if el == nil {
+				continue
+			}
+			if el.Tag == "html" {
+				// Merge attributes into the existing root instead of
+				// nesting a second html element.
+				for k, v := range el.Attrs {
+					root.SetAttr(k, v)
+				}
+				continue
+			}
+			top().Append(el)
+			if el.Tag == "script" {
+				// Raw-text element: consume everything to </script>.
+				if end := strings.Index(strings.ToLower(s[i:]), "</script>"); end >= 0 {
+					el.Text = s[i : i+end]
+					i += end + len("</script>")
+				} else {
+					el.Text = s[i:]
+					i = len(s)
+				}
+				continue
+			}
+			if !selfClose && !voidTags[el.Tag] {
+				stack = append(stack, el)
+			}
+		}
+	}
+	return d
+}
+
+// parseTag parses "name attr=val attr2='v'" into an element.
+func parseTag(raw string) *Element {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return nil
+	}
+	nameEnd := strings.IndexAny(raw, " \t\n\r")
+	name := raw
+	rest := ""
+	if nameEnd >= 0 {
+		name = raw[:nameEnd]
+		rest = raw[nameEnd:]
+	}
+	el := NewElement(name)
+	parseAttrs(el, rest)
+	return el
+}
+
+func parseAttrs(el *Element, s string) {
+	i := 0
+	for i < len(s) {
+		// Skip whitespace.
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r') {
+			i++
+		}
+		if i >= len(s) {
+			return
+		}
+		// Attribute name.
+		start := i
+		for i < len(s) && s[i] != '=' && s[i] != ' ' && s[i] != '\t' {
+			i++
+		}
+		name := s[start:i]
+		if name == "" {
+			i++
+			continue
+		}
+		// Optional value.
+		value := ""
+		if i < len(s) && s[i] == '=' {
+			i++
+			if i < len(s) && (s[i] == '"' || s[i] == '\'') {
+				quote := s[i]
+				i++
+				vstart := i
+				for i < len(s) && s[i] != quote {
+					i++
+				}
+				value = s[vstart:i]
+				if i < len(s) {
+					i++
+				}
+			} else {
+				vstart := i
+				for i < len(s) && s[i] != ' ' && s[i] != '\t' {
+					i++
+				}
+				value = s[vstart:i]
+			}
+		}
+		el.SetAttr(name, value)
+	}
+}

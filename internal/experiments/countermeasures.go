@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"masterparasite/internal/attacker"
+	"masterparasite/internal/browser"
+	"masterparasite/internal/core"
+	"masterparasite/internal/parasite"
+	"masterparasite/internal/script"
+	"masterparasite/internal/tcpsim"
+)
+
+// CountermeasureRow is one §VIII defence evaluated against the kill chain.
+type CountermeasureRow struct {
+	Defence string
+	// Infected: did the initial injection deliver the parasite?
+	Infected bool
+	// Persisted: did the parasite survive leaving the attacker network?
+	Persisted bool
+	// Propagated: how many origins ended up infected (1 = contained).
+	Propagated int
+	// CNCWorked: did a queued command execute and exfiltrate?
+	CNCWorked bool
+	Note      string
+}
+
+// Countermeasures reproduces §VIII: each recommended defence (plus the
+// TCP-reassembly ablation) runs against the full kill chain, and the row
+// records which stages it stops.
+func Countermeasures() (*Result, error) {
+	type variant struct {
+		name string
+		cfg  core.Config
+		prep func(*core.Scenario)
+		note string
+	}
+	variants := []variant{
+		{name: "none (baseline)", cfg: core.Config{Seed: 61}},
+		{
+			name: "HTTPS on target", cfg: core.Config{Seed: 61},
+			prep: func(s *core.Scenario) { s.SetTLS("somesite.com", true); s.SetTLS("top1.com", true) },
+			note: "injection needs plaintext",
+		},
+		{
+			name: "HTTPS + fraudulent cert",
+			cfg:  core.Config{Seed: 61, FraudulentCertHosts: []string{"somesite.com", "top1.com"}},
+			prep: func(s *core.Scenario) { s.SetTLS("somesite.com", true); s.SetTLS("top1.com", true) },
+			note: "mis-issued certificate voids TLS (§V)",
+		},
+		{
+			name: "cache partitioning",
+			cfg:  core.Config{Seed: 61, ProfileOverride: partitionedChrome()},
+			note: "blocks shared-entry reuse only; iframe propagation unaffected (paper: partitioning is inefficient)",
+		},
+		{
+			name: "random query string on scripts", cfg: core.Config{Seed: 61},
+			prep: func(s *core.Scenario) { s.Victim.DefenseRandomQuery = true },
+			note: "poisoned cache entries never re-hit",
+		},
+		{
+			name: "strict CSP on pages", cfg: core.Config{Seed: 61},
+			prep: func(s *core.Scenario) { s.StrictCSP = true },
+			note: "C&C and iframe propagation blocked while CSP delivered",
+		},
+		{
+			name: "last-wins reassembly (ablation)",
+			cfg:  core.Config{Seed: 61, ReassemblyPolicy: tcpsim.LastWins},
+			note: "attack depends on race win, not overlap policy",
+		},
+	}
+
+	var rows []CountermeasureRow
+	for _, v := range variants {
+		row, err := runCountermeasure(v.cfg, v.prep)
+		if err != nil {
+			return nil, fmt.Errorf("countermeasure %q: %w", v.name, err)
+		}
+		row.Defence = v.name
+		row.Note = v.note
+		rows = append(rows, row)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %-9s %-10s %-11s %-5s %s\n", "Defence", "Infected", "Persisted", "Propagated", "C&C", "Note")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-32s %-9s %-10s %-11d %-5s %s\n",
+			r.Defence, mark(r.Infected), mark(r.Persisted), r.Propagated, mark(r.CNCWorked), r.Note)
+	}
+	return &Result{ID: "countermeasures", Title: "§VIII: countermeasures vs the kill chain", Text: b.String(), Data: rows}, nil
+}
+
+func partitionedChrome() *browser.Profile {
+	p, err := browser.ProfileByName("Chrome")
+	if err != nil {
+		return nil
+	}
+	p.PartitionedCache = true
+	return &p
+}
+
+func runCountermeasure(cfg core.Config, prep func(*core.Scenario)) (CountermeasureRow, error) {
+	var row CountermeasureRow
+	s, err := core.NewScenario(cfg)
+	if err != nil {
+		return row, err
+	}
+	csp := map[string]string{}
+	if prep != nil {
+		prep(s)
+	}
+	if s.StrictCSP {
+		csp["Content-Security-Policy"] = "default-src 'self'"
+	}
+	hdr := map[string]string{"Cache-Control": "no-store"}
+	for k, v := range csp {
+		hdr[k] = v
+	}
+	s.AddPage("somesite.com", "/", `<html><body><script src="/my.js"></script></body></html>`, hdr)
+	s.AddPage("somesite.com", "/my.js", "function site(){}",
+		map[string]string{"Cache-Control": "max-age=600", "Content-Type": "application/javascript"})
+	s.AddPage("top1.com", "/", `<html><body><script src="/persistent.js"></script></body></html>`, hdr)
+	s.AddPage("top1.com", "/persistent.js", "function lib(){}",
+		map[string]string{"Cache-Control": "max-age=600", "Content-Type": "application/javascript"})
+
+	pcfg := parasite.NewConfig("cm", "bot-cm", core.MasterHost)
+	pcfg.PropagationTargets = []string{"top1.com"}
+	pcfg.Modules["ping"] = func(env script.Env, _ string, exfil parasite.Exfil) error {
+		exfil("ping", []byte("pong from "+env.PageHost()))
+		return nil
+	}
+	s.Registry.Add(pcfg)
+	for _, name := range []string{"somesite.com/my.js", "top1.com/persistent.js"} {
+		s.Master.AddTarget(attacker.Target{Name: name, Kind: attacker.KindJS,
+			ParasitePayload: "cm", Original: []byte("function original(){}")})
+	}
+
+	// Stage 1: infection attempt on the attacker's network.
+	page, _ := s.Visit("somesite.com", "/")
+	if page != nil {
+		for _, sc := range page.Scripts {
+			if script.Infected(sc.Content) {
+				row.Infected = true
+			}
+		}
+	}
+	row.Propagated = len(s.Registry.InfectedOrigins("bot-cm"))
+
+	// Stage 2: persistence after leaving, plus C&C.
+	s.LeaveAttackerNetwork()
+	s.CNC.QueueCommand("bot-cm", []byte("ping|"))
+	page2, _ := s.Visit("somesite.com", "/")
+	if page2 != nil {
+		for _, sc := range page2.Scripts {
+			if script.Infected(sc.Content) {
+				row.Persisted = true
+			}
+		}
+	}
+	if _, ok := s.CNC.Upload("bot-cm", "ping"); ok {
+		row.CNCWorked = true
+	}
+	return row, nil
+}

@@ -1,0 +1,308 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment runs the real attack code paths against the
+// simulated substrate and renders rows comparable to the published
+// artefact. See DESIGN.md §3 for the per-experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"masterparasite/internal/attacker"
+	"masterparasite/internal/browser"
+	"masterparasite/internal/core"
+	"masterparasite/internal/httpcache"
+	"masterparasite/internal/httpsim"
+	"masterparasite/internal/parasite"
+	"masterparasite/internal/script"
+)
+
+// Result is one regenerated artefact.
+type Result struct {
+	ID    string // "table1" ... "fig5", "cnc", "flows"
+	Title string
+	Text  string // rendered rows
+	Data  any    // typed dataset for programmatic use
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "✓"
+	}
+	return "×"
+}
+
+// scaleProfile shrinks a browser profile's cache so the eviction flood is
+// tractable: the paper floods hundreds of MiB; we keep the byte *ratio*
+// between flood and budget while scaling both down ~2000×.
+func scaleProfile(p browser.Profile) browser.Profile {
+	const scale = 2048
+	p.CacheSize /= scale
+	if p.MemoryLimit > 0 {
+		p.MemoryLimit /= scale
+	}
+	return p
+}
+
+// TableIRow is one row of the eviction evaluation.
+type TableIRow struct {
+	Browser     string
+	Version     string
+	Eviction    bool
+	InterDomain bool
+	SizeNote    string
+	Remark      string
+	OOMKilled   bool
+}
+
+// TableI reproduces the cache-eviction evaluation: for every browser
+// profile, prime the cache with objects of two victim domains, run the
+// Fig. 1 eviction flood through the full network path, and observe
+// whether the victims' objects were supplanted (and whether the browser
+// survived).
+func TableI() (*Result, error) {
+	var rows []TableIRow
+	for _, p := range browser.TableIProfiles() {
+		scaled := scaleProfile(p)
+		s, err := core.NewScenario(core.Config{ProfileOverride: &scaled, Seed: 31})
+		if err != nil {
+			return nil, fmt.Errorf("table I %s: %w", p.UserAgent(), err)
+		}
+		// Two victim domains to separate "evicts at all" from
+		// "inter-domain eviction".
+		for _, d := range []string{"popular.com", "other.com"} {
+			s.AddPage(d, "/", fmt.Sprintf(`<html><body><script src="/app.js"></script></body></html>`), nil)
+			s.AddPage(d, "/app.js", "function "+strings.ReplaceAll(d, ".", "_")+"(){}",
+				map[string]string{"Cache-Control": "max-age=86400", "Content-Type": "application/javascript"})
+		}
+		s.AddPage("any.com", "/", `<html><body>benign</body></html>`, map[string]string{"Cache-Control": "no-store"})
+
+		if _, err := s.Visit("popular.com", "/"); err != nil {
+			return nil, fmt.Errorf("table I prime: %w", err)
+		}
+		if _, err := s.Visit("other.com", "/"); err != nil {
+			return nil, fmt.Errorf("table I prime: %w", err)
+		}
+
+		// Flood 1.5× the cache budget in junk.
+		junkSize := 4096
+		junkCount := int(scaled.CacheSize)*3/2/junkSize + 1
+		s.Master.EnableEviction(core.JunkHost, junkCount, junkSize, "any.com")
+		_, verr := s.Visit("any.com", "/")
+
+		evicted := !s.Victim.Cache().Contains("popular.com", "popular.com/app.js")
+		interDomain := evicted && !s.Victim.Cache().Contains("other.com", "other.com/app.js")
+		oom := s.Victim.OOMKilled() || verr != nil
+		if oom {
+			// The browser died instead of evicting: IE's failure mode.
+			evicted = false
+			interDomain = false
+		}
+		rows = append(rows, TableIRow{
+			Browser: p.Name + map[bool]string{true: "*", false: ""}[p.Incognito], Version: p.Version,
+			Eviction: evicted, InterDomain: interDomain,
+			SizeNote: p.SizeNote, Remark: p.Remark, OOMKilled: oom,
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %-17s %-3s %-4s %-9s %s\n", "Browser", "Version", "Ev.", "I.D.", "Size", "Remarks")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %-17s %-3s %-4s %-9s %s\n",
+			r.Browser, r.Version, mark(r.Eviction), mark(r.InterDomain), r.SizeNote, r.Remark)
+	}
+	return &Result{ID: "table1", Title: "Table I: cache eviction on popular browsers", Text: b.String(), Data: rows}, nil
+}
+
+// TableIICell is one OS×browser injection outcome.
+type TableIICell struct {
+	OS       browser.OS
+	Browser  string
+	Exists   bool // n/a when false
+	Injected bool
+}
+
+// TableII reproduces the TCP-injection evaluation across every existing
+// OS × browser pair: set up the WiFi victim, arm the infection module,
+// visit the target site and check whether the parasite landed in cache.
+func TableII() (*Result, error) {
+	var cells []TableIICell
+	for _, os := range browser.AllOSes() {
+		for _, p := range browser.TableIIBrowsers() {
+			cell := TableIICell{OS: os, Browser: p.Name, Exists: p.RunsOn(os)}
+			if cell.Exists {
+				ok, err := injectionSucceeds(p, os)
+				if err != nil {
+					return nil, fmt.Errorf("table II %s/%s: %w", p.Name, os, err)
+				}
+				cell.Injected = ok
+			}
+			cells = append(cells, cell)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "OS")
+	for _, p := range browser.TableIIBrowsers() {
+		fmt.Fprintf(&b, " %-8s", p.Name)
+	}
+	b.WriteString("\n")
+	i := 0
+	for _, os := range browser.AllOSes() {
+		fmt.Fprintf(&b, "%-8s", os)
+		for range browser.TableIIBrowsers() {
+			c := cells[i]
+			i++
+			switch {
+			case !c.Exists:
+				fmt.Fprintf(&b, " %-8s", "n/a")
+			default:
+				fmt.Fprintf(&b, " %-8s", mark(c.Injected))
+			}
+		}
+		b.WriteString("\n")
+	}
+	return &Result{ID: "table2", Title: "Table II: TCP injection across OS and browsers", Text: b.String(), Data: cells}, nil
+}
+
+func injectionSucceeds(p browser.Profile, os browser.OS) (bool, error) {
+	s, err := core.NewScenario(core.Config{ProfileOverride: &p, OS: os, Seed: 17})
+	if err != nil {
+		return false, err
+	}
+	s.AddPage("somesite.com", "/", `<html><body><script src="/my.js"></script></body></html>`, nil)
+	s.AddPage("somesite.com", "/my.js", "function site(){}",
+		map[string]string{"Cache-Control": "max-age=600", "Content-Type": "application/javascript"})
+	cfg := parasite.NewConfig("t2", "bot-t2", core.MasterHost)
+	cfg.Propagate = false
+	cfg.Anchor = false
+	s.Registry.Add(cfg)
+	s.Master.AddTarget(attacker.Target{
+		Name: "somesite.com/my.js", Kind: attacker.KindJS,
+		ParasitePayload: "t2", Original: []byte("function original(){}"),
+	})
+	page, err := s.Visit("somesite.com", "/")
+	if err != nil {
+		return false, err
+	}
+	for _, sc := range page.Scripts {
+		if script.Infected(sc.Content) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// TableIIIRow is one refresh-method evaluation row.
+type TableIIIRow struct {
+	Browser           string
+	SupportsCacheAPI  bool
+	CtrlF5Removes     bool
+	ClearCacheRemoves bool
+	CookiesRemoves    bool
+}
+
+// TableIII reproduces the refresh-method evaluation: a parasite anchored
+// in the Cache API must survive Ctrl+F5 and cache clearing, and fall only
+// to cookie (site-data) clearing.
+func TableIII() (*Result, error) {
+	var rows []TableIIIRow
+	for _, p := range browser.TableIProfiles() {
+		if p.Incognito {
+			continue // Table III lists the five base browsers
+		}
+		row := TableIIIRow{Browser: p.Name, SupportsCacheAPI: p.SupportsCacheAPI}
+		if p.SupportsCacheAPI {
+			for _, method := range []string{"ctrlf5", "clearcache", "clearcookies"} {
+				removed, err := refreshRemovesParasite(p, method)
+				if err != nil {
+					return nil, fmt.Errorf("table III %s %s: %w", p.Name, method, err)
+				}
+				switch method {
+				case "ctrlf5":
+					row.CtrlF5Removes = removed
+				case "clearcache":
+					row.ClearCacheRemoves = removed
+				case "clearcookies":
+					row.CookiesRemoves = removed
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %-8s %-12s %-13s\n", "Browser", "Ctrl+F5", "clear cache", "clear cookies")
+	for _, r := range rows {
+		if !r.SupportsCacheAPI {
+			fmt.Fprintf(&b, "%-9s %-8s %-12s %-13s\n", r.Browser, "n/a", "n/a", "n/a")
+			continue
+		}
+		fmt.Fprintf(&b, "%-9s %-8s %-12s %-13s\n", r.Browser,
+			mark(r.CtrlF5Removes), mark(r.ClearCacheRemoves), mark(r.CookiesRemoves))
+	}
+	return &Result{ID: "table3", Title: "Table III: refresh methods vs Cache-API parasites", Text: b.String(), Data: rows}, nil
+}
+
+func refreshRemovesParasite(p browser.Profile, method string) (bool, error) {
+	s, err := core.NewScenario(core.Config{ProfileOverride: &p, Seed: 23})
+	if err != nil {
+		return false, err
+	}
+	s.AddPage("top1.com", "/", `<html><body><script src="/persistent.js"></script></body></html>`,
+		map[string]string{"Cache-Control": "no-store"})
+	s.AddPage("top1.com", "/persistent.js", "function lib(){}",
+		map[string]string{"Cache-Control": "max-age=600", "Content-Type": "application/javascript"})
+	cfg := parasite.NewConfig("t3", "bot-t3", core.MasterHost)
+	cfg.Propagate = false
+	s.Registry.Add(cfg)
+	s.Master.AddTarget(attacker.Target{
+		Name: "top1.com/persistent.js", Kind: attacker.KindJS,
+		ParasitePayload: "t3", Original: []byte("function lib(){}"),
+	})
+	if _, err := s.Visit("top1.com", "/"); err != nil {
+		return false, err
+	}
+	if s.Victim.CacheAPI().Len() == 0 {
+		return false, fmt.Errorf("parasite failed to anchor in the Cache API")
+	}
+	s.LeaveAttackerNetwork()
+
+	switch method {
+	case "ctrlf5":
+		if _, err := s.VisitHard("top1.com", "/"); err != nil {
+			return false, err
+		}
+	case "clearcache":
+		s.Victim.ClearCache()
+	case "clearcookies":
+		s.Victim.ClearCookies()
+	}
+	// Table III asks whether the method removed the object stored with
+	// the Cache API — the parasite's persistence anchor.
+	if s.Victim.CacheAPI().Len() > 0 {
+		return false, nil // anchor survived: the method did NOT remove it
+	}
+	// The anchor is gone. Confirm end-to-end removal: with the HTTP cache
+	// also cleared (the paper: "cleaning up the cache does not suffice
+	// ... the cookies must also be deleted"), the next visit must load
+	// the genuine script from the network.
+	s.Victim.ClearCache()
+	page, err := s.Visit("top1.com", "/")
+	if err != nil {
+		return false, err
+	}
+	for _, sc := range page.Scripts {
+		if script.Infected(sc.Content) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// infectedJS builds a canonical infected response body for shared-cache
+// experiments.
+func infectedJS() *httpsim.Response {
+	body := script.Embed([]byte("function lib(){}"), "parasite", "px")
+	resp := httpsim.NewResponse(200, body)
+	resp.Header.Set("Cache-Control", httpcache.MaxFreshness)
+	return resp
+}

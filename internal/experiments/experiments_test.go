@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"masterparasite/internal/browser"
+	"masterparasite/internal/crawler"
+)
+
+func TestTableIMatchesPaperShape(t *testing.T) {
+	r, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := r.Data.([]TableIRow)
+	if !ok || len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Browser == "IE" {
+			if row.Eviction || row.InterDomain || !row.OOMKilled {
+				t.Fatalf("IE row = %+v; paper: × × with memory DOS", row)
+			}
+			continue
+		}
+		if !row.Eviction || !row.InterDomain {
+			t.Fatalf("%s row = %+v; paper: eviction and inter-domain work", row.Browser, row)
+		}
+	}
+}
+
+func TestTableIIMatchesPaperShape(t *testing.T) {
+	r, err := TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, ok := r.Data.([]TableIICell)
+	if !ok || len(cells) != 30 {
+		t.Fatalf("cells = %d, want 5 OSes × 6 browsers", len(cells))
+	}
+	existing, na := 0, 0
+	for _, c := range cells {
+		if !c.Exists {
+			na++
+			continue
+		}
+		existing++
+		if !c.Injected {
+			t.Fatalf("injection failed on %s/%s; paper: effective on every existing pair", c.Browser, c.OS)
+		}
+	}
+	if existing != 20 || na != 10 {
+		t.Fatalf("existing=%d na=%d; Table II has 20 supported pairs", existing, na)
+	}
+}
+
+func TestTableIIIMatchesPaper(t *testing.T) {
+	r, err := TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := r.Data.([]TableIIIRow)
+	if !ok || len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Browser == "IE" {
+			if row.SupportsCacheAPI {
+				t.Fatal("IE must be n/a (no Cache API)")
+			}
+			continue
+		}
+		if row.CtrlF5Removes || row.ClearCacheRemoves {
+			t.Fatalf("%s: Ctrl+F5/clear-cache removed the parasite; paper: ×", row.Browser)
+		}
+		if !row.CookiesRemoves {
+			t.Fatalf("%s: clear-cookies did not remove the parasite; paper: ✓", row.Browser)
+		}
+	}
+}
+
+func TestTableIVFunctionalInfection(t *testing.T) {
+	r, err := TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := r.Data.([]TableIVRow)
+	if !ok || len(rows) != 23 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sharedRuns := 0
+	for _, row := range rows {
+		if row.VictimsServed < 0 {
+			continue
+		}
+		sharedRuns++
+		if row.VictimsServed != 8 {
+			t.Fatalf("%s served %d/8 victims; shared caches must infect all",
+				row.Device.Instance, row.VictimsServed)
+		}
+	}
+	if sharedRuns != 21 {
+		t.Fatalf("functional runs = %d, want 21 shared devices", sharedRuns)
+	}
+}
+
+func TestTableVAllAttacksSucceed(t *testing.T) {
+	r, err := TableV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := r.Data.([]TableVRow)
+	if !ok || len(rows) != 17 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if !row.Succeeded {
+			t.Errorf("%s failed: %s", row.Attack.Name, row.Evidence)
+		}
+	}
+}
+
+func TestFigure3SmallRun(t *testing.T) {
+	r, err := Figure3(400, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := r.Data.(*crawler.PersistencyResult)
+	if !ok {
+		t.Fatal("wrong data type")
+	}
+	p0, p20 := res.At(0), res.At(20)
+	if p0.PersistentName < p20.PersistentName {
+		t.Fatal("persistence increased over time")
+	}
+	if !strings.Contains(r.Text, "persistent(name)") {
+		t.Fatal("rendering incomplete")
+	}
+}
+
+func TestFigure5SmallRun(t *testing.T) {
+	r, err := Figure5(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := r.Data.(*crawler.HeaderSurvey)
+	if !ok {
+		t.Fatal("wrong data type")
+	}
+	if s.NoHTTPSShare < 15 || s.NoHTTPSShare > 27 {
+		t.Fatalf("no-HTTPS share = %.1f", s.NoHTTPSShare)
+	}
+	if !strings.Contains(r.Text, "connect-src") {
+		t.Fatal("rendering incomplete")
+	}
+}
+
+func TestCNCThroughputShape(t *testing.T) {
+	r, err := CNCThroughput(8 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := r.Data.(CNCReport)
+	if !ok {
+		t.Fatal("wrong data type")
+	}
+	if rep.DownstreamLoopback <= 0 || rep.DownstreamRTTConc <= 0 ||
+		rep.DownstreamRTTSeq <= 0 || rep.UpstreamThroughput <= 0 {
+		t.Fatalf("rates: %+v", rep)
+	}
+	// The paper's 100 KB/s depends on concurrency: once the channel is
+	// RTT-bound, parallel fetches must clearly beat sequential ones.
+	if rep.DownstreamRTTConc < 4*rep.DownstreamRTTSeq {
+		t.Fatalf("RTT-bound concurrent (%.0f B/s) not ≥4× sequential (%.0f B/s)",
+			rep.DownstreamRTTConc, rep.DownstreamRTTSeq)
+	}
+}
+
+func TestCountermeasuresMatrix(t *testing.T) {
+	r, err := Countermeasures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := r.Data.([]CountermeasureRow)
+	if !ok || len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := make(map[string]CountermeasureRow, len(rows))
+	for _, row := range rows {
+		byName[row.Defence] = row
+	}
+	base := byName["none (baseline)"]
+	if !base.Infected || !base.Persisted || !base.CNCWorked || base.Propagated < 2 {
+		t.Fatalf("baseline = %+v", base)
+	}
+	if tls := byName["HTTPS on target"]; tls.Infected || tls.Persisted || tls.CNCWorked {
+		t.Fatalf("HTTPS row = %+v; must stop everything", tls)
+	}
+	if cert := byName["HTTPS + fraudulent cert"]; !cert.Infected || !cert.CNCWorked {
+		t.Fatalf("fraudulent cert row = %+v; must restore the attack", cert)
+	}
+	if rq := byName["random query string on scripts"]; !rq.Infected || rq.Persisted {
+		t.Fatalf("random-query row = %+v; infection transient, persistence gone", rq)
+	}
+	if csp := byName["strict CSP on pages"]; csp.Propagated != 1 || csp.CNCWorked {
+		t.Fatalf("CSP row = %+v; propagation and C&C must be blocked", csp)
+	}
+	if lw := byName["last-wins reassembly (ablation)"]; !lw.Infected {
+		t.Fatalf("last-wins row = %+v; race win still infects", lw)
+	}
+}
+
+func TestMessageFlowsPhases(t *testing.T) {
+	r, err := MessageFlows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"Fig. 1", "Fig. 2", "Fig. 4"} {
+		if !strings.Contains(r.Text, phase) {
+			t.Fatalf("missing phase %s", phase)
+		}
+	}
+	// The infection phase must show attacker-box frames racing ahead.
+	fig2 := r.Text[strings.Index(r.Text, "Fig. 2"):]
+	if !strings.Contains(fig2, "attacker-box") {
+		t.Fatal("no attacker frames in the infection flow")
+	}
+}
+
+func TestScaleProfileKeepsRatio(t *testing.T) {
+	p, err := browser.ProfileByName("IE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := scaleProfile(p)
+	if s.CacheSize <= 0 || s.MemoryLimit <= s.CacheSize/2 {
+		t.Fatalf("scaled profile degenerate: %+v", s)
+	}
+	ratio := float64(p.MemoryLimit) / float64(p.CacheSize)
+	sratio := float64(s.MemoryLimit) / float64(s.CacheSize)
+	if ratio/sratio > 1.01 || sratio/ratio > 1.01 {
+		t.Fatalf("scaling changed the memory/cache ratio: %f vs %f", ratio, sratio)
+	}
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"masterparasite/internal/attacker"
+	"masterparasite/internal/cnc"
+	"masterparasite/internal/core"
+	"masterparasite/internal/crawler"
+	"masterparasite/internal/netsim"
+	"masterparasite/internal/parasite"
+	"masterparasite/internal/webcorpus"
+)
+
+// Figure3 reproduces the persistency measurement: a daily crawl of the
+// synthetic Alexa population, rendered as the three curves of the figure.
+func Figure3(sites, days int) (*Result, error) {
+	if sites <= 0 {
+		sites = 3000
+	}
+	if days <= 0 {
+		days = webcorpus.StudyDays
+	}
+	corpus := webcorpus.Generate(webcorpus.Params{Sites: sites, Seed: 1})
+	res := crawler.CrawlPersistency(corpus, days)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "sites crawled: %d, days: %d\n", res.Sites, days)
+	fmt.Fprintf(&b, "%-6s %-10s %-18s %-18s\n", "day", "any .js", "persistent(hash)", "persistent(name)")
+	for _, day := range []int{0, 1, 5, 10, 20, 40, 60, 80, days} {
+		if day > days {
+			continue
+		}
+		p := res.At(day)
+		fmt.Fprintf(&b, "%-6d %-10.2f %-18.2f %-18.2f\n", p.Day, p.AnyJS, p.PersistentHash, p.PersistentName)
+	}
+	p5, pEnd := res.At(5), res.At(days)
+	fmt.Fprintf(&b, "\npaper anchors: ≈87.5%% name-persistent @5d (measured %.1f%%), ≈75.3%% @100d (measured %.1f%%)\n",
+		p5.PersistentName, pEnd.PersistentName)
+	return &Result{ID: "fig3", Title: "Figure 3: persistency measurement over 100 days", Text: b.String(), Data: res}, nil
+}
+
+// Figure5 reproduces the CSP statistics plus the §V HSTS/HTTPS survey.
+func Figure5(sites int) (*Result, error) {
+	if sites <= 0 {
+		sites = webcorpus.DefaultSites
+	}
+	corpus := webcorpus.Generate(webcorpus.Params{Sites: sites, Seed: 1})
+	s := crawler.SurveyHeaders(corpus)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "population: %d sites, %d responders\n\n", s.Sites, s.Responders)
+	fmt.Fprintf(&b, "§V transport security (paper: 21%% no HTTPS, ~7%% vulnerable SSL)\n")
+	fmt.Fprintf(&b, "  no HTTPS:         %6.2f%%\n", s.NoHTTPSShare)
+	fmt.Fprintf(&b, "  vulnerable SSL:   %6.2f%%\n", s.VulnSSLShare)
+	fmt.Fprintf(&b, "§V HSTS (paper: 67.92%% without HSTS, 96.59%% SSL-strippable)\n")
+	fmt.Fprintf(&b, "  no HSTS:          %6.2f%% (%d responders)\n", s.NoHSTSShare, s.NoHSTSCount)
+	fmt.Fprintf(&b, "  preloaded:        %d\n", s.PreloadCount)
+	fmt.Fprintf(&b, "  SSL-strippable:   %6.2f%%\n", s.StrippableShare)
+	fmt.Fprintf(&b, "Fig. 5 CSP statistics (paper: ~4.7%% supply CSP, 15.3%% deprecated)\n")
+	fmt.Fprintf(&b, "  CSP header:       %6.2f%%\n", s.CSPHeaderShare)
+	fmt.Fprintf(&b, "  with rules:       %6.2f%%\n", s.CSPRulesShare)
+	fmt.Fprintf(&b, "  deprecated share: %6.2f%%\n", s.DeprecatedShare)
+	fmt.Fprintf(&b, "  versions:         %v\n", s.VersionCounts)
+	fmt.Fprintf(&b, "  connect-src uses: %d (wildcard: %d — paper: 160 uses, 17 wildcards)\n",
+		s.ConnectSrcUses, s.ConnectSrcStar)
+	fmt.Fprintf(&b, "§VI-B1 shared analytics script: %.1f%% of sites (paper: 63%%)\n",
+		crawler.AnalyticsShare(corpus))
+	return &Result{ID: "fig5", Title: "Figure 5 + §V: security header survey", Text: b.String(), Data: s}, nil
+}
+
+// CNCReport is the §VI-C throughput measurement.
+type CNCReport struct {
+	PayloadBytes        int
+	DownstreamLoopback  float64 // B/s, 16-way concurrent, zero RTT
+	DownstreamRTTConc   float64 // B/s, 16-way concurrent, 1 ms simulated RTT
+	DownstreamRTTSeq    float64 // B/s, sequential, 1 ms simulated RTT
+	UpstreamThroughput  float64 // B/s
+	BytesPerImage       int
+	OverheadBytesPerImg int
+}
+
+// CNCThroughput measures the covert channel over a real loopback HTTP
+// server. The headline rate uses the raw loopback; the concurrency
+// comparison adds a 1 ms simulated RTT, because the channel is RTT-bound
+// — which is exactly why the paper's 100 KB/s needs "a client which sends
+// requests for multiple images simultaneously".
+func CNCThroughput(payload int) (*Result, error) {
+	if payload <= 0 {
+		payload = 64 * 1024
+	}
+	master := cnc.NewMasterServer()
+	base, shutdown, err := master.Serve()
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = shutdown() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	measure := func(tag string, data []byte, conc int) (float64, error) {
+		bot := &cnc.Bot{BaseURL: base, ID: fmt.Sprintf("bot-%s", tag), Concurrency: conc}
+		master.QueueCommand(bot.ID, data)
+		start := time.Now()
+		got, _, ok, err := bot.Poll(ctx)
+		if err != nil || !ok {
+			return 0, fmt.Errorf("poll failed: ok=%v err=%w", ok, err)
+		}
+		if !bytes.Equal(got, data) {
+			return 0, fmt.Errorf("payload corrupted")
+		}
+		return float64(len(data)) / time.Since(start).Seconds(), nil
+	}
+
+	data := bytes.Repeat([]byte("C"), payload)
+	loopback, err := measure("raw", data, 16)
+	if err != nil {
+		return nil, err
+	}
+
+	// RTT-bound comparison on a smaller payload (sequential at 1 ms per
+	// request is slow by design — that is the point).
+	master.Delay = time.Millisecond
+	small := bytes.Repeat([]byte("c"), 2048)
+	rttConc, err := measure("rtt-conc", small, 16)
+	if err != nil {
+		return nil, err
+	}
+	rttSeq, err := measure("rtt-seq", small, 1)
+	if err != nil {
+		return nil, err
+	}
+	master.Delay = 0
+
+	upBot := &cnc.Bot{BaseURL: base, ID: "bot-up", Concurrency: 16}
+	start := time.Now()
+	if err := upBot.Upload(ctx, "bulk", data); err != nil {
+		return nil, err
+	}
+	upRate := float64(payload) / time.Since(start).Seconds()
+
+	svg := cnc.RenderSVG(cnc.Dim{W: 65535, H: 65535})
+	rep := CNCReport{
+		PayloadBytes:        payload,
+		DownstreamLoopback:  loopback,
+		DownstreamRTTConc:   rttConc,
+		DownstreamRTTSeq:    rttSeq,
+		UpstreamThroughput:  upRate,
+		BytesPerImage:       cnc.BytesPerImage,
+		OverheadBytesPerImg: len(svg),
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "payload: %d bytes, %d images of ~%d bytes (4 payload bytes each)\n",
+		payload, cnc.ImagesNeeded(payload), rep.OverheadBytesPerImg)
+	fmt.Fprintf(&b, "downstream, loopback, 16 concurrent:   %10.0f B/s\n", loopback)
+	fmt.Fprintf(&b, "downstream, 1ms RTT, 16 concurrent:    %10.0f B/s\n", rttConc)
+	fmt.Fprintf(&b, "downstream, 1ms RTT, sequential:       %10.0f B/s\n", rttSeq)
+	fmt.Fprintf(&b, "upstream (URL-encoded):                %10.0f B/s\n", upRate)
+	fmt.Fprintf(&b, "paper claim: ≈100KB/s downstream with simultaneous image requests\n")
+	return &Result{ID: "cnc", Title: "§VI-C: covert channel throughput", Text: b.String(), Data: rep}, nil
+}
+
+// MessageFlows renders the Fig. 1 / Fig. 2 / Fig. 4 message sequences by
+// tracing a scripted kill-chain run.
+func MessageFlows() (*Result, error) {
+	s, err := core.NewScenario(core.Config{Seed: 77})
+	if err != nil {
+		return nil, err
+	}
+	var events []netsim.TraceEvent
+	s.Net.SetTrace(func(e netsim.TraceEvent) {
+		if !e.Tapped {
+			events = append(events, e)
+		}
+	})
+	s.AddPage("somesite.com", "/", `<html><body><script src="/my.js"></script></body></html>`,
+		map[string]string{"Cache-Control": "no-store"})
+	s.AddPage("somesite.com", "/my.js", "function site(){}",
+		map[string]string{"Cache-Control": "max-age=600"})
+	s.AddPage("top1.com", "/", `<html><body><script src="/persistent.js"></script></body></html>`, nil)
+	s.AddPage("top1.com", "/persistent.js", "function lib(){}",
+		map[string]string{"Cache-Control": "max-age=600"})
+
+	cfg := parasite.NewConfig("flow", "bot-flow", core.MasterHost)
+	cfg.PropagationTargets = []string{"top1.com"}
+	s.Registry.Add(cfg)
+	for _, name := range []string{"somesite.com/my.js", "top1.com/persistent.js"} {
+		s.Master.AddTarget(attacker.Target{Name: name, Kind: attacker.KindJS,
+			ParasitePayload: "flow", Original: []byte("function original(){}")})
+	}
+	s.Master.EnableEviction(core.JunkHost, 4, 1024, "any.com")
+	s.AddPage("any.com", "/", "<html><body>x</body></html>", map[string]string{"Cache-Control": "no-store"})
+
+	// Phase 1 (Fig. 1): eviction. Phase 2 (Fig. 2): infection +
+	// propagation. Phase 3 (Fig. 4): C&C from the home network.
+	phase := func(name string, fn func() error) (string, error) {
+		events = events[:0]
+		if err := fn(); err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "--- %s ---\n", name)
+		for _, e := range events {
+			fmt.Fprintf(&b, "%8.2fms  %-12s → %-12s  %4dB\n",
+				float64(e.Time.Microseconds())/1000, e.Src, e.Dst, e.Size)
+		}
+		return b.String(), nil
+	}
+	var out strings.Builder
+	txt, err := phase("Fig. 1: cache eviction", func() error {
+		_, err := s.Visit("any.com", "/")
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.WriteString(txt)
+	txt, err = phase("Fig. 2: cache infection + propagation", func() error {
+		_, err := s.Visit("somesite.com", "/")
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.WriteString(txt)
+	s.LeaveAttackerNetwork()
+	s.CNC.QueueCommand("bot-flow", []byte("noop|"))
+	txt, err = phase("Fig. 4: C&C after moving networks", func() error {
+		_, err := s.Visit("top1.com", "/")
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.WriteString(txt)
+	return &Result{ID: "flows", Title: "Figures 1/2/4: message flows", Text: out.String(), Data: nil}, nil
+}
+
+// All runs every experiment with tractable default sizes.
+func All(sites, days int) ([]*Result, error) {
+	var out []*Result
+	for _, fn := range []func() (*Result, error){
+		TableI, TableII, TableIII, TableIV, TableV,
+		func() (*Result, error) { return Figure3(sites, days) },
+		func() (*Result, error) { return Figure5(sites) },
+		func() (*Result, error) { return CNCThroughput(0) },
+		MessageFlows,
+	} {
+		r, err := fn()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

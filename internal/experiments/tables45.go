@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"masterparasite/internal/apps"
+	"masterparasite/internal/attacker"
+	"masterparasite/internal/attacks"
+	"masterparasite/internal/browser"
+	"masterparasite/internal/core"
+	"masterparasite/internal/dom"
+	"masterparasite/internal/parasite"
+	"masterparasite/internal/proxycache"
+)
+
+// TableIVRow is one cache-device row with its functional verification.
+type TableIVRow struct {
+	Device        proxycache.Device
+	VictimsServed int // shared-cache infection outcome (-1 = not applicable)
+}
+
+// TableIV reproduces the caches-in-the-wild evaluation: the device
+// taxonomy plus, for every shared HTTP-capable device, a functional
+// infection run showing that one poisoned entry reaches every client.
+func TableIV() (*Result, error) {
+	const clients = 8
+	var rows []TableIVRow
+	for _, d := range proxycache.Devices() {
+		row := TableIVRow{Device: d, VictimsServed: -1}
+		if d.Shared && d.HTTP.Vulnerable() {
+			cache := proxycache.NewSharedCache(d.Instance, 1<<20, false, nil)
+			res := proxycache.RunInfection(cache, infectedJS(), clients)
+			row.VictimsServed = res.VictimsServed
+		}
+		rows = append(rows, row)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s %-28s %-5s %-6s %-10s %s\n", "Location/Type", "Instance", "HTTP", "HTTPS", "Infected", "Comment")
+	lastLoc := ""
+	for _, r := range rows {
+		d := r.Device
+		loc := d.Location + " / " + d.Type
+		if d.Location != lastLoc {
+			lastLoc = d.Location
+		}
+		infected := "n/a"
+		if r.VictimsServed >= 0 {
+			infected = fmt.Sprintf("%d/%d", r.VictimsServed, clients)
+		}
+		fmt.Fprintf(&b, "%-42.42s %-28s %-5s %-6s %-10s %s\n",
+			loc, d.Instance, d.HTTP.Symbol(), d.HTTPS.Symbol(), infected, d.Comment)
+	}
+	return &Result{ID: "table4", Title: "Table IV: caches in the wild (taxonomy + shared-cache infection)", Text: b.String(), Data: rows}, nil
+}
+
+// TableVRow is one attack row with its run outcome.
+type TableVRow struct {
+	Attack       attacks.Attack
+	App          string
+	Succeeded    bool
+	Evidence     string
+	Requirements string
+}
+
+// TableV reproduces the attacks-against-applications evaluation: every
+// catalogued module runs through an infected parasite against its target
+// application, and the row records whether the master received the
+// expected loot.
+func TableV() (*Result, error) {
+	runs := []struct {
+		attack string
+		app    string // which app hosts the run
+		params string
+		stream string // exfil stream proving success ("" = DOM evidence)
+		setup  string // extra setup keyword
+	}{
+		{"steal-login", "bank", "", "creds", "submit-login"},
+		{"browser-data", "chat", "", "browser-data", "seed-storage"},
+		{"personal-data", "chat", "microphone", "sensor-microphone", "grant-permission"},
+		{"website-data", "bank", "", "website-data", "logged-in"},
+		{"side-channel", "chat", "recv", "side-channel", "side-send"},
+		{"bypass-2fa", "bank", "Transfer 50 EUR to DE22 GRANDMA", "", "pending-transfer"},
+		{"transaction-manipulation", "bank", "iban=XX99 EVIL,amount=9000", "manipulated-tx", "logged-in-transfer"},
+		{"send-phishing", "chat", "click evil.example", "phished", ""},
+		{"steal-compute", "chat", "256", "mined", ""},
+		{"clickjacking", "chat", "bait.example/", "", ""},
+		{"ad-injection", "chat", "ads.evil/banner.png", "", ""},
+		{"ddos", "chat", "victim-site.example|10", "ddos-report", "ddos-target"},
+		{"spectre", "chat", "", "spectre", "plant-secret"},
+		{"rowhammer", "chat", "4096", "rowhammer", "vulnerable-dram"},
+		{"zero-day", "chat", "payloads.evil/cve.bin", "zero-day", "payload-host"},
+		{"attack-internal", "chat", "router.local,printer.local", "internal-hosts", "internal-devices"},
+		{"ddos-internal", "chat", "iot-cam.local|10", "internal-ddos-report", "internal-devices"},
+	}
+	var rows []TableVRow
+	for _, run := range runs {
+		atk, ok := attacks.ByName(run.attack)
+		if !ok {
+			return nil, fmt.Errorf("table V: unknown attack %q", run.attack)
+		}
+		succeeded, evidence, err := runTableVAttack(run.attack, run.app, run.params, run.stream, run.setup)
+		if err != nil {
+			return nil, fmt.Errorf("table V %s: %w", run.attack, err)
+		}
+		rows = append(rows, TableVRow{
+			Attack: atk, App: run.app, Succeeded: succeeded,
+			Evidence: evidence, Requirements: atk.Requirements,
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-26s %-16s %-8s %-7s %s\n", "CIA", "Attack", "Category", "App", "Result", "Evidence")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4s %-26s %-16s %-8s %-7s %.60s\n",
+			r.Attack.CIA, r.Attack.Name, r.Attack.Category, r.App, mark(r.Succeeded), r.Evidence)
+	}
+	return &Result{ID: "table5", Title: "Table V: attacks against applications", Text: b.String(), Data: rows}, nil
+}
+
+// runTableVAttack assembles a fresh lab and executes one catalogue row.
+func runTableVAttack(attack, app, params, stream, setup string) (bool, string, error) {
+	s, err := core.NewScenario(core.Config{Seed: 47})
+	if err != nil {
+		return false, "", err
+	}
+	bank := apps.NewBank("bank.example")
+	chat := apps.NewChat("chat.example")
+	s.AddHandler(bank.Host, bank.Handler())
+	s.AddHandler(chat.Host, chat.Handler())
+
+	cfg := parasite.NewConfig("tv", "bot-tv", core.MasterHost)
+	cfg.Propagate = false
+	attacks.Install(cfg)
+	s.Registry.Add(cfg)
+	for host, path := range map[string]string{bank.Host: "/js/bank.js", chat.Host: "/js/chat.js"} {
+		s.Master.AddTarget(attacker.Target{
+			Name: host + path, Kind: attacker.KindJS,
+			ParasitePayload: "tv", Original: []byte("function app(){}"),
+		})
+	}
+
+	host := chat.Host
+	if app == "bank" {
+		host = bank.Host
+	}
+	wire := func(p *browser.Page) {
+		bank.Wire(p, nil)
+		chat.Wire(p, nil)
+	}
+	submitAs := func(p *browser.Page, formID string, values map[string]string) error {
+		form := p.Doc.FindByID(formID)
+		if form == nil {
+			return fmt.Errorf("form %s missing", formID)
+		}
+		for k, v := range values {
+			if !setFormValue(p, formID, k, v) {
+				return fmt.Errorf("input %s missing on %s", k, formID)
+			}
+		}
+		_, _, err := p.Doc.Submit(formID)
+		return err
+	}
+
+	// Environment setup per run.
+	switch setup {
+	case "seed-storage":
+		s.Victim.LocalStorage(host)["jwt"] = "token-1"
+		s.Victim.Cookies().Set(host, "theme", "dark")
+	case "grant-permission":
+		s.Victim.LocalStorage(host)["perm:microphone"] = "granted"
+	case "plant-secret":
+		s.Victim.LocalStorage(host)["spectre-secret"] = "0xdeadbeef"
+	case "vulnerable-dram":
+		s.Victim.LocalStorage(host)["dram"] = "vulnerable"
+	case "ddos-target":
+		s.AddPage("victim-site.example", "/", "<html><body>up</body></html>",
+			map[string]string{"Cache-Control": "no-store"})
+	case "payload-host":
+		s.AddPage("payloads.evil", "/cve.bin", strings.Repeat("\x90", 32),
+			map[string]string{"Cache-Control": "no-store", "Access-Control-Allow-Origin": "*"})
+	case "internal-devices":
+		s.AddPage("router.local", "/favicon.ico", "icon", nil)
+		s.AddPage("printer.local", "/favicon.ico", "icon", nil)
+		s.AddPage("iot-cam.local", "/", "cam", map[string]string{"Cache-Control": "no-store"})
+	case "side-send":
+		s.CNC.QueueCommand("bot-tv", []byte("side-channel|send"))
+		if _, err := s.VisitWired(host, "/", wire); err != nil {
+			return false, "", err
+		}
+	case "logged-in", "submit-login", "logged-in-transfer", "pending-transfer":
+		// handled below after the first page load
+	}
+
+	// Login flows for the bank runs.
+	needLogin := setup == "logged-in" || setup == "logged-in-transfer" || setup == "pending-transfer"
+	if needLogin {
+		page, err := s.VisitWired(bank.Host, "/", wire)
+		if err != nil {
+			return false, "", err
+		}
+		if err := submitAs(page, "login", map[string]string{"user": "alice", "pass": "hunter2"}); err != nil {
+			return false, "", err
+		}
+		s.Run()
+	}
+	if setup == "pending-transfer" {
+		// Stage the attacker's pending transfer via the manipulation
+		// module, then evaluate bypass-2fa on the confirmation page.
+		s.CNC.QueueCommand("bot-tv", []byte("transaction-manipulation|iban=XX99 EVIL,amount=9000"))
+		page, err := s.VisitWired(bank.Host, "/", wire)
+		if err != nil {
+			return false, "", err
+		}
+		if err := submitAs(page, "transfer", map[string]string{"iban": "DE22 GRANDMA", "amount": "50"}); err != nil {
+			return false, "", err
+		}
+		s.Run()
+	}
+
+	// The command under test.
+	s.CNC.QueueCommand("bot-tv", []byte(attack+"|"+params))
+	path := "/"
+	if setup == "pending-transfer" {
+		path = "/confirm"
+	}
+	page, err := s.VisitWired(host, path, wire)
+	if err != nil {
+		return false, "", err
+	}
+
+	// Post-load user interaction where the attack needs one.
+	switch setup {
+	case "submit-login":
+		if err := submitAs(page, "login", map[string]string{"user": "alice", "pass": "hunter2"}); err != nil {
+			return false, "", err
+		}
+		s.Run()
+	case "logged-in-transfer":
+		if err := submitAs(page, "transfer", map[string]string{"iban": "DE22 GRANDMA", "amount": "50"}); err != nil {
+			return false, "", err
+		}
+		s.Run()
+	}
+
+	// Evidence: exfil stream, or DOM artefact for the display attacks.
+	if stream != "" {
+		loot, ok := s.CNC.Upload("bot-tv", stream)
+		if !ok {
+			return false, "no loot", nil
+		}
+		return true, fmt.Sprintf("stream %s: %.48s", stream, string(loot)), nil
+	}
+	switch attack {
+	case "clickjacking":
+		if page.Doc.FindByID("cj-overlay") != nil {
+			return true, "invisible overlay planted", nil
+		}
+	case "bypass-2fa":
+		if el := page.Doc.FindByID("pending-details"); el != nil &&
+			strings.Contains(el.TextContent(), "GRANDMA") {
+			return true, "user shown forged transaction details", nil
+		}
+	case "ad-injection":
+		for _, img := range page.Doc.FindByTag("img") {
+			if img.Attr("src") == params {
+				return true, "ad element injected", nil
+			}
+		}
+	}
+	return false, "no evidence", nil
+}
+
+func setFormValue(p *browser.Page, formID, name, value string) bool {
+	form := p.Doc.FindByID(formID)
+	if form == nil {
+		return false
+	}
+	ok := false
+	form.Walk(func(e *dom.Element) {
+		if (e.Tag == "input" || e.Tag == "textarea") && e.Attr("name") == name {
+			e.SetAttr("value", value)
+			ok = true
+		}
+	})
+	return ok
+}

@@ -1,0 +1,91 @@
+// Package httpcache models the client-side HTTP caches the parasite
+// infects: the browser's main object cache (keyed by URL name, §VI-A
+// "browsers' caches use names of files as keys"), the Cache API storage
+// (Table III) and the cookie jar. It implements the relevant subset of
+// RFC 7234 freshness semantics plus the capacity-eviction behaviour the
+// eviction module (§IV) exploits.
+package httpcache
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// CacheControl is the parsed form of a Cache-Control header value.
+type CacheControl struct {
+	MaxAge    time.Duration
+	HasMaxAge bool
+	NoStore   bool
+	NoCache   bool
+	Immutable bool
+	Public    bool
+	Private   bool
+}
+
+// ParseCacheControl parses a Cache-Control header value. Unknown
+// directives are ignored, as RFC 7234 requires.
+func ParseCacheControl(v string) CacheControl {
+	var cc CacheControl
+	for _, part := range strings.Split(v, ",") {
+		d := strings.TrimSpace(strings.ToLower(part))
+		switch {
+		case d == "no-store":
+			cc.NoStore = true
+		case d == "no-cache":
+			cc.NoCache = true
+		case d == "immutable":
+			cc.Immutable = true
+		case d == "public":
+			cc.Public = true
+		case d == "private":
+			cc.Private = true
+		case strings.HasPrefix(d, "max-age="):
+			secs, err := strconv.Atoi(strings.TrimPrefix(d, "max-age="))
+			if err == nil && secs >= 0 {
+				cc.MaxAge = time.Duration(secs) * time.Second
+				cc.HasMaxAge = true
+			}
+		case strings.HasPrefix(d, "s-maxage="):
+			// Shared-cache lifetime; we treat it as max-age when no
+			// max-age is present (the proxycache package cares).
+			secs, err := strconv.Atoi(strings.TrimPrefix(d, "s-maxage="))
+			if err == nil && secs >= 0 && !cc.HasMaxAge {
+				cc.MaxAge = time.Duration(secs) * time.Second
+				cc.HasMaxAge = true
+			}
+		}
+	}
+	return cc
+}
+
+// String re-renders the directives in canonical order.
+func (cc CacheControl) String() string {
+	var parts []string
+	if cc.Public {
+		parts = append(parts, "public")
+	}
+	if cc.Private {
+		parts = append(parts, "private")
+	}
+	if cc.HasMaxAge {
+		parts = append(parts, "max-age="+strconv.Itoa(int(cc.MaxAge/time.Second)))
+	}
+	if cc.Immutable {
+		parts = append(parts, "immutable")
+	}
+	if cc.NoCache {
+		parts = append(parts, "no-cache")
+	}
+	if cc.NoStore {
+		parts = append(parts, "no-store")
+	}
+	return strings.Join(parts, ", ")
+}
+
+// MaxFreshness is the Cache-Control value the attacker sets on infected
+// objects: "the cache duration is set by HTTP headers like the
+// Cache-Control header ... so that the browser of the victim keeps the
+// modified copy of the object as long as possible" (§VI-A). One year is
+// the conventional practical maximum.
+const MaxFreshness = "public, max-age=31536000, immutable"

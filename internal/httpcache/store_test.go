@@ -1,0 +1,336 @@
+package httpcache
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"masterparasite/internal/httpsim"
+)
+
+func respWithCC(cc string, body string) *httpsim.Response {
+	r := httpsim.NewResponse(200, []byte(body))
+	if cc != "" {
+		r.Header.Set("Cache-Control", cc)
+	}
+	return r
+}
+
+func TestParseCacheControl(t *testing.T) {
+	cases := []struct {
+		in   string
+		want CacheControl
+	}{
+		{"max-age=60", CacheControl{MaxAge: time.Minute, HasMaxAge: true}},
+		{"public, max-age=31536000, immutable", CacheControl{Public: true, MaxAge: 31536000 * time.Second, HasMaxAge: true, Immutable: true}},
+		{"no-store", CacheControl{NoStore: true}},
+		{"no-cache, private", CacheControl{NoCache: true, Private: true}},
+		{"s-maxage=120", CacheControl{MaxAge: 2 * time.Minute, HasMaxAge: true}},
+		{"max-age=10, s-maxage=120", CacheControl{MaxAge: 10 * time.Second, HasMaxAge: true}},
+		{"max-age=bogus", CacheControl{}},
+		{"", CacheControl{}},
+		{"unknown-directive, max-age=5", CacheControl{MaxAge: 5 * time.Second, HasMaxAge: true}},
+	}
+	for _, c := range cases {
+		if got := ParseCacheControl(c.in); got != c.want {
+			t.Errorf("ParseCacheControl(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCacheControlStringRoundTrip(t *testing.T) {
+	in := "public, max-age=3600, immutable, no-cache"
+	cc := ParseCacheControl(in)
+	if got := ParseCacheControl(cc.String()); got != cc {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, cc)
+	}
+}
+
+func TestEntryFromResponseFreshness(t *testing.T) {
+	e := EntryFromResponse(0, "a.com/x.js", "a.com", respWithCC("max-age=60", "body"))
+	if e == nil {
+		t.Fatal("entry is nil")
+	}
+	if !e.Fresh(59 * time.Second) {
+		t.Fatal("entry stale before max-age")
+	}
+	if e.Fresh(61 * time.Second) {
+		t.Fatal("entry fresh after max-age")
+	}
+}
+
+func TestEntryNoStoreUncacheable(t *testing.T) {
+	if e := EntryFromResponse(0, "a.com/x", "a.com", respWithCC("no-store", "x")); e != nil {
+		t.Fatal("no-store response produced an entry")
+	}
+}
+
+func TestEntryNoCacheNeverFresh(t *testing.T) {
+	e := EntryFromResponse(0, "a.com/x", "a.com", respWithCC("no-cache, max-age=60", "x"))
+	if e == nil {
+		t.Fatal("nil entry")
+	}
+	if e.Fresh(time.Second) {
+		t.Fatal("no-cache entry reported fresh")
+	}
+}
+
+func TestEntryHeuristicTTL(t *testing.T) {
+	e := EntryFromResponse(0, "a.com/x", "a.com", respWithCC("", "x"))
+	if e.TTL != DefaultHeuristicTTL {
+		t.Fatalf("TTL = %v, want heuristic %v", e.TTL, DefaultHeuristicTTL)
+	}
+}
+
+func TestEntryToResponseIndependence(t *testing.T) {
+	e := EntryFromResponse(0, "a.com/x", "a.com", respWithCC("max-age=1", "abc"))
+	r := e.ToResponse()
+	r.Body[0] = 'X'
+	r.Header.Set("Injected", "yes")
+	if e.Body[0] != 'a' || e.Header.Has("Injected") {
+		t.Fatal("ToResponse aliases the entry")
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	s := NewStore(Options{Capacity: 1 << 20})
+	e := EntryFromResponse(0, "a.com/x.js", "a.com", respWithCC("max-age=60", "body"))
+	s.Put("a.com", e)
+	got, ok := s.Get("a.com", "a.com/x.js")
+	if !ok || string(got.Body) != "body" {
+		t.Fatal("get after put failed")
+	}
+	if _, ok := s.GetFresh(30*time.Second, "a.com", "a.com/x.js"); !ok {
+		t.Fatal("fresh lookup failed")
+	}
+	if _, ok := s.GetFresh(2*time.Minute, "a.com", "a.com/x.js"); ok {
+		t.Fatal("stale entry returned as fresh")
+	}
+}
+
+func TestStoreReplaceSameKey(t *testing.T) {
+	s := NewStore(Options{Capacity: 1 << 20})
+	s.Put("", EntryFromResponse(0, "a.com/x", "a.com", respWithCC("max-age=9", "old")))
+	s.Put("", EntryFromResponse(0, "a.com/x", "a.com", respWithCC("max-age=9", "new")))
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1", s.Len())
+	}
+	got, _ := s.Get("", "a.com/x")
+	if string(got.Body) != "new" {
+		t.Fatalf("body = %q, want new", got.Body)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Three ~equal entries in a cache that fits two: touching the oldest
+	// should protect it under LRU.
+	mkEntry := func(url string) *Entry {
+		return EntryFromResponse(0, url, "a.com", respWithCC("max-age=60", "0123456789"))
+	}
+	one := mkEntry("a.com/1")
+	cap2 := int64(one.Size()*2 + 4)
+	s := NewStore(Options{Capacity: cap2, Policy: LRU})
+	s.Put("", mkEntry("a.com/1"))
+	s.Put("", mkEntry("a.com/2"))
+	s.Get("", "a.com/1") // touch 1 → 2 becomes LRU victim
+	s.Put("", mkEntry("a.com/3"))
+	if !s.Contains("", "a.com/1") || s.Contains("", "a.com/2") || !s.Contains("", "a.com/3") {
+		t.Fatalf("LRU kept %v", s.URLs())
+	}
+	if s.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Stats().Evictions)
+	}
+}
+
+func TestFIFOEvictionIgnoresRecency(t *testing.T) {
+	mkEntry := func(url string) *Entry {
+		return EntryFromResponse(0, url, "a.com", respWithCC("max-age=60", "0123456789"))
+	}
+	one := mkEntry("a.com/1")
+	s := NewStore(Options{Capacity: int64(one.Size()*2 + 4), Policy: FIFO})
+	s.Put("", mkEntry("a.com/1"))
+	s.Put("", mkEntry("a.com/2"))
+	s.Get("", "a.com/1") // touching must not matter under FIFO
+	s.Put("", mkEntry("a.com/3"))
+	if s.Contains("", "a.com/1") {
+		t.Fatalf("FIFO kept the oldest entry: %v", s.URLs())
+	}
+}
+
+func TestEvictionFloodSupplantsVictimObjects(t *testing.T) {
+	// The §IV attack in miniature: cached objects of popular.com are
+	// supplanted by a flood of attacker junk objects.
+	s := NewStore(Options{Capacity: 4096})
+	s.Put("", EntryFromResponse(0, "popular.com/app.js", "popular.com", respWithCC("max-age=3600", "important")))
+	for i := 0; i < 100; i++ {
+		url := fmt.Sprintf("attacker.com/junk%02d.jpg", i)
+		s.Put("", EntryFromResponse(0, url, "attacker.com", respWithCC("max-age=3600", string(make([]byte, 200)))))
+	}
+	if s.Contains("", "popular.com/app.js") {
+		t.Fatal("victim object survived the eviction flood")
+	}
+	if s.Size() > s.Capacity() {
+		t.Fatalf("size %d over capacity %d", s.Size(), s.Capacity())
+	}
+}
+
+func TestBallooningNeverEvicts(t *testing.T) {
+	// IE's behaviour (Table I): memory grows without bound instead of
+	// evicting — the DOS remark.
+	s := NewStore(Options{Capacity: 1024, Ballooning: true})
+	for i := 0; i < 50; i++ {
+		url := fmt.Sprintf("x.com/%d", i)
+		s.Put("", EntryFromResponse(0, url, "x.com", respWithCC("max-age=60", string(make([]byte, 100)))))
+	}
+	if s.Stats().Evictions != 0 {
+		t.Fatal("ballooning store evicted")
+	}
+	if s.Size() <= s.Capacity() {
+		t.Fatal("ballooning store did not exceed capacity")
+	}
+	if s.Len() != 50 {
+		t.Fatalf("len = %d, want 50", s.Len())
+	}
+}
+
+func TestPartitionedStoreIsolatesContexts(t *testing.T) {
+	// §VIII countermeasure: with partitioning, an entry cached under one
+	// top-level site is invisible to another.
+	s := NewStore(Options{Capacity: 1 << 20, Partitioned: true})
+	s.Put("site-a.com", EntryFromResponse(0, "cdn.com/lib.js", "cdn.com", respWithCC("max-age=60", "lib")))
+	if _, ok := s.Get("site-b.com", "cdn.com/lib.js"); ok {
+		t.Fatal("partitioned cache leaked across contexts")
+	}
+	if _, ok := s.Get("site-a.com", "cdn.com/lib.js"); !ok {
+		t.Fatal("partitioned cache lost its own entry")
+	}
+}
+
+func TestUnpartitionedStoreShared(t *testing.T) {
+	s := NewStore(Options{Capacity: 1 << 20})
+	s.Put("site-a.com", EntryFromResponse(0, "cdn.com/lib.js", "cdn.com", respWithCC("max-age=60", "lib")))
+	if _, ok := s.Get("site-b.com", "cdn.com/lib.js"); !ok {
+		t.Fatal("shared cache should serve any context")
+	}
+}
+
+func TestClearAndDelete(t *testing.T) {
+	s := NewStore(Options{Capacity: 1 << 20})
+	s.Put("", EntryFromResponse(0, "a.com/1", "a.com", respWithCC("max-age=60", "x")))
+	s.Put("", EntryFromResponse(0, "a.com/2", "a.com", respWithCC("max-age=60", "y")))
+	s.Delete("", "a.com/1")
+	if s.Contains("", "a.com/1") || !s.Contains("", "a.com/2") {
+		t.Fatal("delete misbehaved")
+	}
+	s.Clear()
+	if s.Len() != 0 || s.Size() != 0 {
+		t.Fatal("clear left residue")
+	}
+}
+
+func TestDomains(t *testing.T) {
+	s := NewStore(Options{})
+	s.Put("", EntryFromResponse(0, "b.com/1", "b.com", respWithCC("max-age=60", "x")))
+	s.Put("", EntryFromResponse(0, "a.com/1", "a.com", respWithCC("max-age=60", "x")))
+	s.Put("", EntryFromResponse(0, "a.com/2", "a.com", respWithCC("max-age=60", "x")))
+	d := s.Domains()
+	if len(d) != 2 || d[0] != "a.com" || d[1] != "b.com" {
+		t.Fatalf("domains = %v", d)
+	}
+}
+
+func TestCountWhere(t *testing.T) {
+	s := NewStore(Options{})
+	s.Put("", EntryFromResponse(0, "a.com/1.js", "a.com", respWithCC("max-age=60", "x")))
+	s.Put("", EntryFromResponse(0, "a.com/1.png", "a.com", respWithCC("max-age=60", "x")))
+	n := s.CountWhere(func(e *Entry) bool { return e.URL[len(e.URL)-3:] == ".js" })
+	if n != 1 {
+		t.Fatalf("CountWhere = %d", n)
+	}
+}
+
+func TestSizeInvariantUnderCapacity(t *testing.T) {
+	// Property: after any sequence of puts, size ≤ capacity (non-
+	// ballooning) and size equals the sum of entry sizes.
+	f := func(bodies [][]byte) bool {
+		s := NewStore(Options{Capacity: 2048})
+		for i, b := range bodies {
+			if len(b) > 512 {
+				b = b[:512]
+			}
+			url := fmt.Sprintf("d%d.com/o", i)
+			s.Put("", EntryFromResponse(0, url, "d.com", respWithCC("max-age=5", string(b))))
+		}
+		var sum int64
+		for _, u := range s.URLs() {
+			e, ok := s.Get("", u)
+			if !ok {
+				return false
+			}
+			sum += int64(e.Size())
+		}
+		return s.Size() <= 2048 && s.Size() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCookieJar(t *testing.T) {
+	j := NewCookieJar()
+	j.Set("bank.com", "session", "s3cr3t")
+	j.Set("bank.com", "abtest", "7")
+	j.Set("mail.com", "sid", "x")
+	if v, ok := j.Get("bank.com", "session"); !ok || v != "s3cr3t" {
+		t.Fatal("cookie get failed")
+	}
+	if got := j.All("bank.com"); got != "abtest=7; session=s3cr3t" {
+		t.Fatalf("All = %q", got)
+	}
+	if got := j.All("none.com"); got != "" {
+		t.Fatalf("All(none) = %q", got)
+	}
+	if j.Len() != 3 {
+		t.Fatalf("len = %d", j.Len())
+	}
+	j.Clear()
+	if j.Len() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestCacheAPIStoreLifecycle(t *testing.T) {
+	s := NewCacheAPIStore()
+	e := EntryFromResponse(0, "top1.com/persistent.js", "top1.com", respWithCC("max-age=1", "parasite"))
+	s.Put(e)
+	// Cache API entries ignore HTTP freshness entirely.
+	got, ok := s.Get("top1.com/persistent.js")
+	if !ok || string(got.Body) != "parasite" {
+		t.Fatal("cache API get failed")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := NewStore(Options{})
+	s.Put("", EntryFromResponse(0, "a.com/x", "a.com", respWithCC("max-age=60", "x")))
+	s.Get("", "a.com/x")
+	s.Get("", "a.com/missing")
+	st := s.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "LRU" || FIFO.String() != "FIFO" || Policy(0).String() != "unknown" {
+		t.Fatal("policy strings wrong")
+	}
+}

@@ -1,0 +1,266 @@
+package httpsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"masterparasite/internal/netsim"
+	"masterparasite/internal/tcpsim"
+)
+
+func TestRequestMarshalParseRoundTrip(t *testing.T) {
+	req := NewRequest("GET", "example.com", "/js/app.js?v=3")
+	req.Header.Set("User-Agent", "sim/1.0")
+	req.Header.Set("If-None-Match", `"abc"`)
+	out, n, err := ParseRequest(req.Marshal())
+	if err != nil {
+		t.Fatalf("ParseRequest: %v", err)
+	}
+	if n != len(req.Marshal()) {
+		t.Fatalf("consumed %d, want %d", n, len(req.Marshal()))
+	}
+	if out.Method != "GET" || out.Host != "example.com" || out.Path != "/js/app.js?v=3" {
+		t.Fatalf("bad round trip: %+v", out)
+	}
+	if out.Header.Get("user-agent") != "sim/1.0" {
+		t.Fatal("case-insensitive header lookup failed")
+	}
+}
+
+func TestRequestWithBody(t *testing.T) {
+	req := NewRequest("POST", "example.com", "/login")
+	req.Body = []byte("user=alice&pass=secret")
+	out, _, err := ParseRequest(req.Marshal())
+	if err != nil {
+		t.Fatalf("ParseRequest: %v", err)
+	}
+	if !bytes.Equal(out.Body, req.Body) {
+		t.Fatalf("body = %q", out.Body)
+	}
+}
+
+func TestResponseMarshalParseRoundTrip(t *testing.T) {
+	resp := NewResponse(200, []byte("console.log(1)"))
+	resp.Header.Set("Content-Type", "application/javascript")
+	resp.Header.Set("Cache-Control", "max-age=31536000")
+	out, _, err := ParseResponse(resp.Marshal())
+	if err != nil {
+		t.Fatalf("ParseResponse: %v", err)
+	}
+	if out.StatusCode != 200 || out.Status != "OK" {
+		t.Fatalf("status = %d %q", out.StatusCode, out.Status)
+	}
+	if out.Header.Get("Cache-Control") != "max-age=31536000" {
+		t.Fatal("header lost")
+	}
+	if !bytes.Equal(out.Body, resp.Body) {
+		t.Fatalf("body = %q", out.Body)
+	}
+}
+
+func TestParseIncomplete(t *testing.T) {
+	full := NewResponse(200, []byte("abcdef")).Marshal()
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := ParseResponse(full[:cut]); err == nil {
+			t.Fatalf("prefix of %d bytes parsed as complete", cut)
+		}
+	}
+	if _, _, err := ParseResponse(full); err != nil {
+		t.Fatalf("full message failed: %v", err)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	cases := []string{
+		"NOT-HTTP\r\n\r\n",
+		"HTTP/1.1 abc OK\r\n\r\n",
+		"HTTP/1.1 200 OK\r\nBadHeader\r\n\r\n",
+		"HTTP/1.1 200 OK\r\nContent-Length: -5\r\n\r\n",
+	}
+	for _, c := range cases {
+		if _, _, err := ParseResponse([]byte(c)); err == nil {
+			t.Errorf("malformed %q parsed", c)
+		}
+	}
+	if _, _, err := ParseRequest([]byte("GET /\r\n\r\n")); err == nil {
+		t.Error("malformed request line parsed")
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(body []byte) bool {
+		resp := NewResponse(200, body)
+		out, n, err := ParseResponse(resp.Marshal())
+		return err == nil && n == len(resp.Marshal()) && bytes.Equal(out.Body, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryAndPathOnly(t *testing.T) {
+	req := NewRequest("GET", "a.com", "/x/y.js?t=500198&cb=9")
+	if got := req.Query("t"); got != "500198" {
+		t.Fatalf("Query(t) = %q", got)
+	}
+	if got := req.Query("cb"); got != "9" {
+		t.Fatalf("Query(cb) = %q", got)
+	}
+	if got := req.Query("nope"); got != "" {
+		t.Fatalf("Query(nope) = %q", got)
+	}
+	if got := req.PathOnly(); got != "/x/y.js" {
+		t.Fatalf("PathOnly = %q", got)
+	}
+	if got := req.URL(); got != "a.com/x/y.js?t=500198&cb=9" {
+		t.Fatalf("URL = %q", got)
+	}
+}
+
+func TestHeaderOps(t *testing.T) {
+	h := Header{}
+	h.Set("x-frame-options", "DENY")
+	if !h.Has("X-Frame-Options") {
+		t.Fatal("Has failed")
+	}
+	h.Del("X-FRAME-OPTIONS")
+	if h.Has("X-Frame-Options") {
+		t.Fatal("Del failed")
+	}
+	h.Set("A", "1")
+	clone := h.Clone()
+	clone.Set("A", "2")
+	if h.Get("A") != "1" {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func newHTTPLab(t *testing.T) (*netsim.Network, *netsim.Segment, *Client, *tcpsim.Stack) {
+	t.Helper()
+	n := netsim.New()
+	seg := n.MustSegment("net", time.Millisecond)
+	cIfc := seg.MustAttach("client", 0, nil)
+	sIfc := seg.MustAttach("server", 4*time.Millisecond, nil)
+	client := NewClient(tcpsim.NewStack(n, cIfc, tcpsim.WithSeed(3)))
+	serverStack := tcpsim.NewStack(n, sIfc, tcpsim.WithSeed(5))
+	return n, seg, client, serverStack
+}
+
+func TestClientServerEndToEnd(t *testing.T) {
+	n, _, client, serverStack := newHTTPLab(t)
+	srv, err := NewServer(serverStack, 80, func(req *Request) *Response {
+		if req.PathOnly() != "/lib.js" {
+			return NewResponse(404, nil)
+		}
+		resp := NewResponse(200, []byte("var x=1;"))
+		resp.Header.Set("Content-Type", "application/javascript")
+		return resp
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	var got *Response
+	client.Get("server", 80, "cdn.example.com", "/lib.js", func(r *Response, err error) {
+		if err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		got = r
+	})
+	n.Run(0)
+	if got == nil {
+		t.Fatal("no response")
+	}
+	if got.StatusCode != 200 || string(got.Body) != "var x=1;" {
+		t.Fatalf("response = %d %q", got.StatusCode, got.Body)
+	}
+	if srv.Requests() != 1 {
+		t.Fatalf("server requests = %d", srv.Requests())
+	}
+}
+
+func TestLargeResponseAcrossSegments(t *testing.T) {
+	n, _, client, serverStack := newHTTPLab(t)
+	body := bytes.Repeat([]byte("0123456789"), 2000) // 20 KB > several MSS
+	if _, err := NewServer(serverStack, 80, func(*Request) *Response {
+		return NewResponse(200, body)
+	}); err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	var got *Response
+	client.Get("server", 80, "big.com", "/big.js", func(r *Response, err error) { got = r })
+	n.Run(0)
+	if got == nil || !bytes.Equal(got.Body, body) {
+		t.Fatal("large body corrupted")
+	}
+}
+
+func TestInjectedResponseWinsEndToEnd(t *testing.T) {
+	// Full-stack reproduction of Fig. 2 steps 1-2: the attacker's spoofed
+	// HTTP response is what the HTTP client parses; the genuine one is
+	// discarded by the transport.
+	n, seg, client, serverStack := newHTTPLab(t)
+	if _, err := NewServer(serverStack, 80, func(*Request) *Response {
+		return NewResponse(200, []byte("GENUINE"))
+	}); err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	evil := NewResponse(200, []byte("PARASITE"))
+	evil.Header.Set("Cache-Control", "max-age=31536000")
+	evilBytes := evil.Marshal()
+
+	var sniffer *tcpsim.Sniffer
+	sniffer = tcpsim.NewSniffer(seg, 0, func(o tcpsim.Observed) {
+		if o.Seg.DstPort == 80 && len(o.Seg.Payload) > 0 &&
+			bytes.HasPrefix(o.Seg.Payload, []byte("GET ")) {
+			sniffer.Tap().Inject(tcpsim.SpoofReply(o, evilBytes))
+		}
+	})
+
+	var got *Response
+	client.Get("server", 80, "somesite.com", "/my.js", func(r *Response, err error) { got = r })
+	n.Run(0)
+	if got == nil {
+		t.Fatal("no response")
+	}
+	if string(got.Body) != "PARASITE" {
+		t.Fatalf("client parsed %q, want PARASITE", got.Body)
+	}
+	if got.Header.Get("Cache-Control") != "max-age=31536000" {
+		t.Fatal("attacker-controlled cache headers lost")
+	}
+}
+
+func TestNilHandlerResponseBecomes500(t *testing.T) {
+	n, _, client, serverStack := newHTTPLab(t)
+	if _, err := NewServer(serverStack, 80, func(*Request) *Response { return nil }); err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	var got *Response
+	client.Get("server", 80, "h.com", "/", func(r *Response, err error) { got = r })
+	n.Run(0)
+	if got == nil || got.StatusCode != 500 {
+		t.Fatalf("got %+v, want 500", got)
+	}
+}
+
+func TestStatusTexts(t *testing.T) {
+	for code, want := range map[int]string{200: "OK", 304: "Not Modified", 404: "Not Found", 999: "Unknown"} {
+		if got := NewResponse(code, nil).Status; got != want {
+			t.Errorf("status %d = %q, want %q", code, got, want)
+		}
+	}
+}
+
+func TestMarshalDeterministicHeaderOrder(t *testing.T) {
+	r := NewResponse(200, nil)
+	r.Header.Set("B-Header", "2")
+	r.Header.Set("A-Header", "1")
+	m := string(r.Marshal())
+	if strings.Index(m, "A-Header") > strings.Index(m, "B-Header") {
+		t.Fatal("headers not sorted deterministically")
+	}
+}

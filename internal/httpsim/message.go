@@ -1,0 +1,299 @@
+// Package httpsim implements a small HTTP/1.1 layer over the tcpsim
+// transport. Requests and responses use the standard textual wire format,
+// so bytes crafted by the attacker (spoofed server responses, §V) are
+// indistinguishable on the wire from genuine ones — which is the point of
+// the attack.
+//
+// The layer is deliberately one-request-per-connection (Connection:
+// close semantics): the experiments need many independent request/response
+// races, not connection reuse.
+package httpsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/textproto"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Header is a single-valued header map with canonicalised keys.
+type Header map[string]string
+
+// Set stores value under the canonical form of key.
+func (h Header) Set(key, value string) {
+	h[textproto.CanonicalMIMEHeaderKey(key)] = value
+}
+
+// Get returns the value for key ("" when absent).
+func (h Header) Get(key string) string {
+	return h[textproto.CanonicalMIMEHeaderKey(key)]
+}
+
+// Has reports whether key is present.
+func (h Header) Has(key string) bool {
+	_, ok := h[textproto.CanonicalMIMEHeaderKey(key)]
+	return ok
+}
+
+// Del removes key.
+func (h Header) Del(key string) {
+	delete(h, textproto.CanonicalMIMEHeaderKey(key))
+}
+
+// Clone returns an independent copy.
+func (h Header) Clone() Header {
+	out := make(Header, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// keysSorted returns keys in deterministic order for marshalling.
+func (h Header) keysSorted() []string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Request is an HTTP request message.
+type Request struct {
+	Method string
+	Path   string // path plus optional query string
+	Host   string
+	Header Header
+	Body   []byte
+}
+
+// NewRequest builds a GET-style request with an empty header map.
+func NewRequest(method, host, path string) *Request {
+	return &Request{Method: method, Host: host, Path: path, Header: Header{}}
+}
+
+// URL returns the host-qualified URL (scheme-less), the cache key space
+// used throughout the system.
+func (r *Request) URL() string { return r.Host + r.Path }
+
+// Query returns the value of a query parameter, or "".
+func (r *Request) Query(key string) string {
+	i := strings.IndexByte(r.Path, '?')
+	if i < 0 {
+		return ""
+	}
+	for _, kv := range strings.Split(r.Path[i+1:], "&") {
+		k, v, _ := strings.Cut(kv, "=")
+		if k == key {
+			return v
+		}
+	}
+	return ""
+}
+
+// PathOnly returns the path with any query string removed.
+func (r *Request) PathOnly() string {
+	if i := strings.IndexByte(r.Path, '?'); i >= 0 {
+		return r.Path[:i]
+	}
+	return r.Path
+}
+
+// Marshal encodes the request in HTTP/1.1 wire format.
+func (r *Request) Marshal() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", r.Method, r.Path)
+	fmt.Fprintf(&b, "Host: %s\r\n", r.Host)
+	hdr := r.Header
+	if hdr == nil {
+		hdr = Header{}
+	}
+	for _, k := range hdr.keysSorted() {
+		if k == "Host" || k == "Content-Length" {
+			continue
+		}
+		fmt.Fprintf(&b, "%s: %s\r\n", k, hdr[k])
+	}
+	if len(r.Body) > 0 {
+		fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
+	}
+	b.WriteString("\r\n")
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+// Response is an HTTP response message.
+type Response struct {
+	StatusCode int
+	Status     string
+	Header     Header
+	Body       []byte
+}
+
+// NewResponse builds a response with standard status text.
+func NewResponse(code int, body []byte) *Response {
+	return &Response{StatusCode: code, Status: statusText(code), Header: Header{}, Body: body}
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 304:
+		return "Not Modified"
+	case 400:
+		return "Bad Request"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Unknown"
+	}
+}
+
+// Marshal encodes the response in HTTP/1.1 wire format with an explicit
+// Content-Length — this is also the byte string the attacker injects.
+func (r *Response) Marshal() []byte {
+	var b bytes.Buffer
+	status := r.Status
+	if status == "" {
+		status = statusText(r.StatusCode)
+	}
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.StatusCode, status)
+	hdr := r.Header
+	if hdr == nil {
+		hdr = Header{}
+	}
+	for _, k := range hdr.keysSorted() {
+		if k == "Content-Length" {
+			continue
+		}
+		fmt.Fprintf(&b, "%s: %s\r\n", k, hdr[k])
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
+	b.WriteString("\r\n")
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+// Errors returned by the parsers.
+var (
+	ErrIncomplete = errors.New("httpsim: incomplete message")
+	ErrMalformed  = errors.New("httpsim: malformed message")
+)
+
+// splitHead returns the header block and the byte offset of the body, or
+// ErrIncomplete when the blank line has not arrived yet.
+func splitHead(data []byte) (head []byte, bodyOff int, err error) {
+	i := bytes.Index(data, []byte("\r\n\r\n"))
+	if i < 0 {
+		return nil, 0, ErrIncomplete
+	}
+	return data[:i], i + 4, nil
+}
+
+func parseHeaders(lines []string) (Header, error) {
+	h := Header{}
+	for _, ln := range lines {
+		if ln == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(ln, ":")
+		if !ok {
+			return nil, fmt.Errorf("%w: header line %q", ErrMalformed, ln)
+		}
+		h.Set(strings.TrimSpace(k), strings.TrimSpace(v))
+	}
+	return h, nil
+}
+
+// ParseRequest decodes one request from data, returning the message and
+// the number of bytes consumed. It returns ErrIncomplete until a full
+// message is buffered.
+func ParseRequest(data []byte) (*Request, int, error) {
+	head, bodyOff, err := splitHead(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	lines := strings.Split(string(head), "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, 0, fmt.Errorf("%w: request line %q", ErrMalformed, lines[0])
+	}
+	hdr, err := parseHeaders(lines[1:])
+	if err != nil {
+		return nil, 0, err
+	}
+	clen := 0
+	if v := hdr.Get("Content-Length"); v != "" {
+		clen, err = strconv.Atoi(v)
+		if err != nil || clen < 0 {
+			return nil, 0, fmt.Errorf("%w: content-length %q", ErrMalformed, v)
+		}
+	}
+	if len(data) < bodyOff+clen {
+		return nil, 0, ErrIncomplete
+	}
+	req := &Request{
+		Method: parts[0],
+		Path:   parts[1],
+		Host:   hdr.Get("Host"),
+		Header: hdr,
+		Body:   append([]byte(nil), data[bodyOff:bodyOff+clen]...),
+	}
+	hdr.Del("Host")
+	return req, bodyOff + clen, nil
+}
+
+// ParseResponse decodes one response from data, returning the message and
+// bytes consumed, or ErrIncomplete.
+func ParseResponse(data []byte) (*Response, int, error) {
+	head, bodyOff, err := splitHead(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	lines := strings.Split(string(head), "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, 0, fmt.Errorf("%w: status line %q", ErrMalformed, lines[0])
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: status code %q", ErrMalformed, parts[1])
+	}
+	status := ""
+	if len(parts) == 3 {
+		status = parts[2]
+	}
+	hdr, err := parseHeaders(lines[1:])
+	if err != nil {
+		return nil, 0, err
+	}
+	clen := 0
+	if v := hdr.Get("Content-Length"); v != "" {
+		clen, err = strconv.Atoi(v)
+		if err != nil || clen < 0 {
+			return nil, 0, fmt.Errorf("%w: content-length %q", ErrMalformed, v)
+		}
+	}
+	if len(data) < bodyOff+clen {
+		return nil, 0, ErrIncomplete
+	}
+	return &Response{
+		StatusCode: code,
+		Status:     status,
+		Header:     hdr,
+		Body:       append([]byte(nil), data[bodyOff:bodyOff+clen]...),
+	}, bodyOff + clen, nil
+}

@@ -1,0 +1,431 @@
+// Package netsim provides a deterministic, discrete-event packet network
+// simulator. It models the attacker capability of the Master and Parasite
+// paper (§III): hosts exchange packets on shared segments (e.g. a public
+// WiFi network) and an eavesdropper attached to a segment observes every
+// frame and may inject its own, but can neither block nor modify frames in
+// flight.
+//
+// The simulation is single-threaded and driven by a virtual clock: sending
+// a packet schedules delivery events, and Network.Run drains the event
+// queue in timestamp order. Equal timestamps are broken by scheduling
+// order, which makes every experiment reproducible.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Addr identifies an interface on the simulated network. It plays the role
+// of an IP address; the simulator does not interpret its contents.
+type Addr string
+
+// Protocol tags a packet payload so that multiple stacks can share one
+// interface. The simulator itself treats payloads as opaque bytes.
+type Protocol int
+
+// Known protocol tags.
+const (
+	ProtoRaw Protocol = iota + 1
+	ProtoTCP
+)
+
+// String returns the conventional name of the protocol tag.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoRaw:
+		return "raw"
+	case ProtoTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("proto(%d)", int(p))
+	}
+}
+
+// Packet is a single frame on a segment.
+type Packet struct {
+	Src     Addr
+	Dst     Addr
+	Proto   Protocol
+	Payload []byte
+}
+
+// Clone returns a deep copy of the packet so that receivers may retain or
+// mutate payloads without aliasing the sender's buffer.
+func (p Packet) Clone() Packet {
+	cp := p
+	cp.Payload = make([]byte, len(p.Payload))
+	copy(cp.Payload, p.Payload)
+	return cp
+}
+
+// Handler receives a packet at virtual time now.
+type Handler func(now time.Duration, pkt Packet)
+
+// TraceEvent records one delivery for message-flow rendering (Fig. 1, 2
+// and 4 of the paper are message sequence diagrams).
+type TraceEvent struct {
+	Time    time.Duration
+	Segment string
+	Src     Addr
+	Dst     Addr
+	Proto   Protocol
+	Size    int
+	Tapped  bool // delivered to an eavesdropper tap, not the addressee
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Network owns the virtual clock and the event queue. The zero value is
+// not usable; create networks with New.
+type Network struct {
+	now      time.Duration
+	seq      uint64
+	queue    eventQueue
+	segments map[string]*Segment
+	trace    func(TraceEvent)
+
+	delivered int
+	injected  int
+}
+
+// New returns an empty network at virtual time zero.
+func New() *Network {
+	return &Network{segments: make(map[string]*Segment)}
+}
+
+// Now reports the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// Delivered reports how many packets have been delivered to addressees.
+func (n *Network) Delivered() int { return n.delivered }
+
+// SetTrace installs a delivery trace hook. A nil hook disables tracing.
+func (n *Network) SetTrace(fn func(TraceEvent)) { n.trace = fn }
+
+// Schedule runs fn at virtual time now+d. A non-positive d runs fn on the
+// next queue drain, still after all events already due.
+func (n *Network) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	n.seq++
+	heap.Push(&n.queue, &event{at: n.now + d, seq: n.seq, fn: fn})
+}
+
+// Step executes the next pending event and returns false when the queue is
+// empty.
+func (n *Network) Step() bool {
+	if n.queue.Len() == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&n.queue).(*event)
+	if !ok {
+		return false
+	}
+	n.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run drains the event queue. Events may schedule further events; Run
+// returns only when the network is quiescent or maxEvents callbacks have
+// executed (a guard against runaway feedback loops; pass 0 for no limit).
+func (n *Network) Run(maxEvents int) int {
+	executed := 0
+	for n.Step() {
+		executed++
+		if maxEvents > 0 && executed >= maxEvents {
+			break
+		}
+	}
+	return executed
+}
+
+// RunUntil drains events with timestamps no later than deadline.
+func (n *Network) RunUntil(deadline time.Duration) int {
+	executed := 0
+	for n.queue.Len() > 0 && n.queue[0].at <= deadline {
+		if !n.Step() {
+			break
+		}
+		executed++
+	}
+	if n.now < deadline {
+		n.now = deadline
+	}
+	return executed
+}
+
+// NewSegment creates a broadcast domain (a WiFi network, a LAN, a WAN hop)
+// with the given base propagation latency. Segment names must be unique.
+func (n *Network) NewSegment(name string, latency time.Duration) (*Segment, error) {
+	if _, dup := n.segments[name]; dup {
+		return nil, fmt.Errorf("netsim: duplicate segment %q", name)
+	}
+	s := &Segment{net: n, name: name, latency: latency}
+	n.segments[name] = s
+	return s, nil
+}
+
+// MustSegment is NewSegment for program initialisation; it panics on a
+// duplicate name.
+func (n *Network) MustSegment(name string, latency time.Duration) *Segment {
+	s, err := n.NewSegment(name, latency)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Segment is a broadcast domain. Every attached interface with a matching
+// destination address receives unicast frames; taps receive everything.
+type Segment struct {
+	net     *Network
+	name    string
+	latency time.Duration
+	ifaces  []*Interface
+	taps    []*Tap
+	down    bool
+}
+
+// Name returns the segment's name.
+func (s *Segment) Name() string { return s.name }
+
+// Latency returns the segment's base propagation delay.
+func (s *Segment) Latency() time.Duration { return s.latency }
+
+// SetDown disconnects the segment: frames sent while down are dropped.
+// This models the victim leaving the network (§VI-C: the victim moves to a
+// different, e.g. home, network and the C&C channel must survive).
+func (s *Segment) SetDown(down bool) { s.down = down }
+
+// ErrAddrInUse is returned when attaching a duplicate address to a segment.
+var ErrAddrInUse = errors.New("netsim: address already attached to segment")
+
+// Attach connects an interface with the given address. extraDelay models
+// the distance between the station and the access point; the eavesdropper
+// typically has a smaller delay than the remote web server, which is what
+// lets its spoofed segment win the race (§V).
+func (s *Segment) Attach(addr Addr, extraDelay time.Duration, h Handler) (*Interface, error) {
+	for _, ifc := range s.ifaces {
+		if ifc.addr == addr {
+			return nil, fmt.Errorf("%w: %s on %s", ErrAddrInUse, addr, s.name)
+		}
+	}
+	ifc := &Interface{seg: s, addr: addr, delay: extraDelay, handler: h}
+	s.ifaces = append(s.ifaces, ifc)
+	return ifc, nil
+}
+
+// MustAttach is Attach for program initialisation; it panics on error.
+func (s *Segment) MustAttach(addr Addr, extraDelay time.Duration, h Handler) *Interface {
+	ifc, err := s.Attach(addr, extraDelay, h)
+	if err != nil {
+		panic(err)
+	}
+	return ifc
+}
+
+// AttachTap connects a promiscuous listener: it observes every frame on
+// the segment regardless of destination. This is the paper's eavesdropping
+// master (§III): it sees TCP source ports and sequence numbers and can
+// therefore craft correct spoofed responses.
+func (s *Segment) AttachTap(extraDelay time.Duration, h Handler) *Tap {
+	t := &Tap{seg: s, delay: extraDelay, handler: h}
+	s.taps = append(s.taps, t)
+	return t
+}
+
+// Interface is an attachment point for a host's protocol stack.
+type Interface struct {
+	seg     *Segment
+	addr    Addr
+	delay   time.Duration
+	handler Handler
+	dropRx  bool
+}
+
+// Addr returns the interface address.
+func (i *Interface) Addr() Addr { return i.addr }
+
+// Segment returns the segment the interface is attached to.
+func (i *Interface) Segment() *Segment { return i.seg }
+
+// SetHandler replaces the receive handler (used when a stack is layered on
+// an already-attached interface).
+func (i *Interface) SetHandler(h Handler) { i.handler = h }
+
+// SetReceiveDrop silences inbound delivery without detaching, modelling a
+// host that left the network but whose address remains configured.
+func (i *Interface) SetReceiveDrop(drop bool) { i.dropRx = drop }
+
+// Send transmits a frame. Src is forced to the interface address unless
+// spoofed sending is required, in which case use SendSpoofed.
+func (i *Interface) Send(pkt Packet) {
+	pkt.Src = i.addr
+	i.seg.transmit(i.delay, pkt, false)
+}
+
+// SendSpoofed transmits a frame preserving whatever source address the
+// caller set. Injected attack segments use this to impersonate the server.
+func (i *Interface) SendSpoofed(pkt Packet) {
+	i.seg.transmit(i.delay, pkt, true)
+}
+
+// Tap is a promiscuous observer that may also inject spoofed frames.
+type Tap struct {
+	seg     *Segment
+	delay   time.Duration
+	handler Handler
+}
+
+// Inject transmits a frame with an arbitrary (spoofed) source address.
+func (t *Tap) Inject(pkt Packet) {
+	t.seg.net.injected++
+	t.seg.transmit(t.delay, pkt, true)
+}
+
+// InjectAfter transmits a spoofed frame after an additional delay.
+func (t *Tap) InjectAfter(d time.Duration, pkt Packet) {
+	t.seg.net.injected++
+	t.seg.net.Schedule(d, func() { t.seg.transmit(t.delay, pkt, true) })
+}
+
+// Injected reports how many frames were injected network-wide.
+func (n *Network) Injected() int { return n.injected }
+
+// transmit schedules delivery of pkt to the addressee and to all taps.
+func (s *Segment) transmit(senderDelay time.Duration, pkt Packet, spoofed bool) {
+	if s.down {
+		return
+	}
+	_ = spoofed
+	frame := pkt.Clone()
+	for _, ifc := range s.ifaces {
+		if ifc.addr != pkt.Dst {
+			continue
+		}
+		target := ifc
+		d := senderDelay + s.latency + target.delay
+		s.net.Schedule(d, func() {
+			if target.dropRx || target.handler == nil {
+				return
+			}
+			s.net.delivered++
+			if s.net.trace != nil {
+				s.net.trace(TraceEvent{
+					Time: s.net.now, Segment: s.name,
+					Src: frame.Src, Dst: frame.Dst,
+					Proto: frame.Proto, Size: len(frame.Payload),
+				})
+			}
+			target.handler(s.net.now, frame.Clone())
+		})
+	}
+	for _, tap := range s.taps {
+		target := tap
+		d := senderDelay + s.latency + target.delay
+		s.net.Schedule(d, func() {
+			if target.handler == nil {
+				return
+			}
+			if s.net.trace != nil {
+				s.net.trace(TraceEvent{
+					Time: s.net.now, Segment: s.name,
+					Src: frame.Src, Dst: frame.Dst,
+					Proto: frame.Proto, Size: len(frame.Payload),
+					Tapped: true,
+				})
+			}
+			target.handler(s.net.now, frame.Clone())
+		})
+	}
+}
+
+// Router forwards frames between two segments, modelling the WiFi
+// gateway's uplink to the internet. It rewrites nothing: addresses are
+// global, as in the paper's message diagrams.
+type Router struct {
+	a, b *Interface
+}
+
+// NewRouter attaches a forwarding element with address addr to both
+// segments. Frames destined to other addresses on the far segment are
+// relayed; the router is invisible to the endpoints.
+func NewRouter(addr Addr, segA, segB *Segment, delay time.Duration) (*Router, error) {
+	r := &Router{}
+	known := func(seg *Segment, dst Addr) bool {
+		for _, ifc := range seg.ifaces {
+			if ifc.addr == dst {
+				return true
+			}
+		}
+		return false
+	}
+	fwd := func(to *Segment) Handler {
+		return func(_ time.Duration, pkt Packet) {
+			out := pkt // keep the original (possibly spoofed) source
+			to.net.Schedule(0, func() { to.transmit(delay, out, true) })
+		}
+	}
+	ifaceA, err := segA.Attach(addr, delay, nil)
+	if err != nil {
+		return nil, fmt.Errorf("router attach %s: %w", segA.name, err)
+	}
+	ifaceB, err := segB.Attach(addr, delay, nil)
+	if err != nil {
+		return nil, fmt.Errorf("router attach %s: %w", segB.name, err)
+	}
+	// A router forwards frames whose destination lives on the other side.
+	// It taps both segments so it can pick up transit traffic.
+	segA.AttachTap(delay, func(_ time.Duration, pkt Packet) {
+		if pkt.Dst != addr && !known(segA, pkt.Dst) && known(segB, pkt.Dst) {
+			fwd(segB)(0, pkt)
+		}
+	})
+	segB.AttachTap(delay, func(_ time.Duration, pkt Packet) {
+		if pkt.Dst != addr && !known(segB, pkt.Dst) && known(segA, pkt.Dst) {
+			fwd(segA)(0, pkt)
+		}
+	})
+	r.a, r.b = ifaceA, ifaceB
+	return r, nil
+}

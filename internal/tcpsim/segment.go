@@ -1,0 +1,135 @@
+// Package tcpsim implements a TCP-like transport on top of the netsim
+// packet network. It reproduces the transport-layer properties that the
+// Master and Parasite attack (§V) exploits:
+//
+//   - a segment is accepted only if its 4-tuple matches an existing
+//     connection and its sequence number falls in the receive window, so an
+//     eavesdropper who has seen the client's request can forge acceptable
+//     server segments;
+//   - reassembly is first-segment-wins: once bytes for a sequence range
+//     have been received, later segments for the same range are discarded
+//     as duplicates. The attacker's spoofed response therefore sticks and
+//     the genuine server response is ignored ("ignored benign response" in
+//     Fig. 1 and 2).
+//
+// The stack is callback-driven and runs entirely inside the netsim event
+// loop, which keeps experiments deterministic.
+package tcpsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Flags is the TCP flag bit set.
+type Flags uint8
+
+// TCP control flags.
+const (
+	FlagSYN Flags = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+	FlagPSH
+)
+
+// String renders flags in the conventional compact form, e.g. "SYN|ACK".
+func (f Flags) String() string {
+	names := []struct {
+		bit  Flags
+		name string
+	}{
+		{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"},
+		{FlagRST, "RST"}, {FlagPSH, "PSH"},
+	}
+	out := ""
+	for _, n := range names {
+		if f&n.bit == 0 {
+			continue
+		}
+		if out != "" {
+			out += "|"
+		}
+		out += n.name
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// Segment is the wire unit of the simulated transport.
+type Segment struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   Flags
+	Window  uint16
+	Payload []byte
+}
+
+// headerLen is the fixed marshalled header size.
+const headerLen = 16
+
+// ErrShortSegment reports a payload too small to contain a header.
+var ErrShortSegment = errors.New("tcpsim: short segment")
+
+// Marshal encodes the segment into a fresh byte slice.
+func (s Segment) Marshal() []byte {
+	b := make([]byte, headerLen+len(s.Payload))
+	binary.BigEndian.PutUint16(b[0:2], s.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], s.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], s.Seq)
+	binary.BigEndian.PutUint32(b[8:12], s.Ack)
+	b[12] = byte(s.Flags)
+	binary.BigEndian.PutUint16(b[13:15], s.Window)
+	b[15] = 0 // reserved
+	copy(b[headerLen:], s.Payload)
+	return b
+}
+
+// ParseSegment decodes a segment from wire bytes. The returned payload
+// aliases b.
+func ParseSegment(b []byte) (Segment, error) {
+	if len(b) < headerLen {
+		return Segment{}, fmt.Errorf("%w: %d bytes", ErrShortSegment, len(b))
+	}
+	return Segment{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   Flags(b[12]),
+		Window:  binary.BigEndian.Uint16(b[13:15]),
+		Payload: b[headerLen:],
+	}, nil
+}
+
+// SeqLT reports whether sequence number a precedes b in modular 2^32
+// arithmetic (RFC 793 comparison).
+func SeqLT(a, b uint32) bool {
+	return int32(a-b) < 0
+}
+
+// SeqLEQ reports whether a precedes or equals b in modular arithmetic.
+func SeqLEQ(a, b uint32) bool {
+	return a == b || SeqLT(a, b)
+}
+
+// SeqAdd advances a sequence number by n with wraparound.
+func SeqAdd(seq uint32, n int) uint32 {
+	return seq + uint32(int32(n))
+}
+
+// SeqDiff returns the modular distance from a to b (b-a), as an int.
+func SeqDiff(a, b uint32) int {
+	return int(int32(b - a))
+}
+
+// InWindow reports whether seq falls inside [lo, lo+size) modulo 2^32.
+func InWindow(seq, lo uint32, size int) bool {
+	d := SeqDiff(lo, seq)
+	return d >= 0 && d < size
+}

@@ -1,0 +1,94 @@
+package tcpsim
+
+import (
+	"time"
+
+	"masterparasite/internal/netsim"
+)
+
+// Observed is one TCP segment seen by an eavesdropper, together with the
+// addressing needed to forge replies.
+type Observed struct {
+	Time time.Duration
+	Src  netsim.Addr
+	Dst  netsim.Addr
+	Seg  Segment
+}
+
+// Sniffer parses every TCP frame on a segment through a promiscuous tap.
+// It is the paper's master in its observation role (§III): "The master
+// sees the TCP source port and the TCP sequence number in the segments
+// sent by the client and hence can craft correct response segments
+// impersonating the server."
+type Sniffer struct {
+	tap  *netsim.Tap
+	onTC func(Observed)
+}
+
+// NewSniffer attaches a tap with the given proximity delay and invokes fn
+// for every parsed TCP segment.
+func NewSniffer(seg *netsim.Segment, delay time.Duration, fn func(Observed)) *Sniffer {
+	s := &Sniffer{onTC: fn}
+	s.tap = seg.AttachTap(delay, func(now time.Duration, pkt netsim.Packet) {
+		if pkt.Proto != netsim.ProtoTCP {
+			return
+		}
+		tseg, err := ParseSegment(pkt.Payload)
+		if err != nil {
+			return
+		}
+		if s.onTC != nil {
+			s.onTC(Observed{Time: now, Src: pkt.Src, Dst: pkt.Dst, Seg: tseg})
+		}
+	})
+	return s
+}
+
+// Tap exposes the underlying tap for injection.
+func (s *Sniffer) Tap() *netsim.Tap { return s.tap }
+
+// Stop detaches the sniffer's observation callback. The experiments use
+// this to model the victim moving out of the attacker's radio range: the
+// master no longer observes or injects, and only the C&C channel remains
+// (§VI-C: "After the victim disconnects from the network on which the
+// initial infection was made").
+func (s *Sniffer) Stop() { s.onTC = nil }
+
+// SpoofReply crafts the spoofed server→client data segment answering an
+// observed client request: source and destination are swapped, the
+// sequence number is the client's acknowledgement number (the next byte
+// the client expects from the server) and the acknowledgement covers the
+// client's request bytes. This is exactly the field adjustment described
+// in §V ("these fields he can adjust from the HTTP request packets that
+// the victim client sends").
+func SpoofReply(req Observed, payload []byte) netsim.Packet {
+	seg := Segment{
+		SrcPort: req.Seg.DstPort,
+		DstPort: req.Seg.SrcPort,
+		Seq:     req.Seg.Ack,
+		Ack:     SeqAdd(req.Seg.Seq, len(req.Seg.Payload)),
+		Flags:   FlagACK | FlagPSH,
+		Window:  DefaultWindow,
+		Payload: payload,
+	}
+	return netsim.Packet{
+		Src:     req.Dst, // impersonate the server
+		Dst:     req.Src,
+		Proto:   netsim.ProtoTCP,
+		Payload: seg.Marshal(),
+	}
+}
+
+// SpoofReplyAt crafts a spoofed continuation segment at an explicit
+// sequence offset past the observed request's acknowledgement point,
+// allowing multi-segment injected responses.
+func SpoofReplyAt(req Observed, offset int, payload []byte) netsim.Packet {
+	pkt := SpoofReply(req, payload)
+	seg, err := ParseSegment(pkt.Payload)
+	if err != nil {
+		return pkt
+	}
+	seg.Seq = SeqAdd(seg.Seq, offset)
+	pkt.Payload = seg.Marshal()
+	return pkt
+}

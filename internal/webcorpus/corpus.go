@@ -1,0 +1,370 @@
+// Package webcorpus generates the synthetic Alexa-style web population
+// that stands in for the paper's 15K-top / 100K-top crawls (§V, §VI-A,
+// §VIII). The paper's numbers are population statistics; this generator is
+// calibrated to the published marginals and the crawler package then
+// *measures* them, so the measurement pipeline — daily snapshots, name and
+// hash persistence, security-header survey — is fully exercised.
+//
+// Everything is deterministic in (Seed, Rank): re-generating a corpus, or
+// asking for any site's state on any day, always yields the same web.
+package webcorpus
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"masterparasite/internal/httpsim"
+)
+
+// ObjectKind classifies a site object.
+type ObjectKind int
+
+// Object kinds found on the synthetic pages.
+const (
+	KindJS ObjectKind = iota + 1
+	KindCSS
+	KindImg
+)
+
+// String names the kind.
+func (k ObjectKind) String() string {
+	switch k {
+	case KindJS:
+		return "js"
+	case KindCSS:
+		return "css"
+	case KindImg:
+		return "img"
+	default:
+		return "unknown"
+	}
+}
+
+// ext maps kinds to file extensions.
+func (k ObjectKind) ext() string {
+	switch k {
+	case KindJS:
+		return "js"
+	case KindCSS:
+		return "css"
+	default:
+		return "png"
+	}
+}
+
+// ObjectSpec is the churn process of one object: how often its name and
+// its content change. Period 0 means "never within the study".
+type ObjectSpec struct {
+	Base          string
+	Kind          ObjectKind
+	RenamePeriod  int // days between renames; 0 = name-eternal
+	ContentPeriod int // days between content changes; 0 = content-eternal
+	Size          int
+}
+
+// ObjectState is one object's identity on a given day.
+type ObjectState struct {
+	// Name is the host-qualified URL path, the browser cache key.
+	Name string
+	// Hash is the content identity.
+	Hash string
+	Kind ObjectKind
+	Size int
+}
+
+// SSLVersion labels a site's TLS configuration for the §V measurement.
+type SSLVersion string
+
+// TLS configuration classes.
+const (
+	SSLNone   SSLVersion = "none"    // plain HTTP (21% of 100K-top)
+	SSLv2     SSLVersion = "SSLv2"   // vulnerable
+	SSLv3     SSLVersion = "SSLv3"   // vulnerable
+	TLSModern SSLVersion = "TLS1.2+" // fine
+)
+
+// CSPConfig is a site's Content-Security-Policy situation (Fig. 5).
+type CSPConfig struct {
+	Present    bool
+	Deprecated bool   // served under X-Content-Security-Policy / X-Webkit-CSP
+	HeaderName string // actual header used
+	Value      string // policy text ("" = header present but empty rules)
+	HasRules   bool
+	ConnectSrc bool // configures connect-src
+	Wildcard   bool // connect-src *
+}
+
+// Site is one synthetic domain.
+type Site struct {
+	Rank int
+	Host string
+
+	// Responds reports whether the host answers at all (the paper's 15K
+	// crawl got 13,419 HTTP(S) responders).
+	Responds bool
+
+	SSL         SSLVersion
+	HSTS        bool
+	HSTSPreload bool
+	CSP         CSPConfig
+
+	// UsesGoogleAnalytics marks the shared-file propagation vector
+	// (§VI-B1: 63% of 1M-top domains embed the same analytics script).
+	UsesGoogleAnalytics bool
+
+	Objects []ObjectSpec
+
+	seed int64
+}
+
+// Params configures corpus generation.
+type Params struct {
+	Sites int
+	Seed  int64
+}
+
+// Corpus is a deterministic synthetic web population.
+type Corpus struct {
+	Sites  []*Site
+	Params Params
+}
+
+// Default population sizes used by the experiments.
+const (
+	DefaultSites = 15000
+	StudyDays    = 100
+)
+
+// Generate builds the population. Marginals (see DESIGN.md §1):
+//
+//	HTTPS adoption      79%  (21% plain HTTP, §V)
+//	vulnerable SSL       7%  (SSL2.0/SSL3.0, §V)
+//	responders        ~89.5% (13,419 of 15,000, §V)
+//	no HSTS           67.92% of responders; 545 preloaded (§V)
+//	CSP header         4.7%  of pages, 15.3% of those deprecated (Fig. 5)
+//	Google Analytics    63%  (§VI-B1)
+func Generate(p Params) *Corpus {
+	if p.Sites <= 0 {
+		p.Sites = DefaultSites
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	c := &Corpus{Params: p, Sites: make([]*Site, 0, p.Sites)}
+	for rank := 1; rank <= p.Sites; rank++ {
+		c.Sites = append(c.Sites, generateSite(rng, rank, p.Seed))
+	}
+	return c
+}
+
+func generateSite(rng *rand.Rand, rank int, seed int64) *Site {
+	s := &Site{
+		Rank: rank,
+		Host: fmt.Sprintf("site%05d.example", rank),
+		seed: seed + int64(rank)*7919,
+	}
+	s.Responds = rng.Float64() < 0.8946 // → ≈13419/15000
+
+	// TLS configuration.
+	switch r := rng.Float64(); {
+	case r < 0.21:
+		s.SSL = SSLNone
+	case r < 0.21+0.035:
+		s.SSL = SSLv3
+	case r < 0.21+0.07:
+		s.SSL = SSLv2
+	default:
+		s.SSL = TLSModern
+	}
+	// HSTS requires HTTPS. Targets: 67.92% of responders send no HSTS
+	// (so P(HSTS) = 0.3208 = 0.79 × 0.406) and 96.59% remain
+	// SSL-strippable, i.e. P(preloaded) = 0.0341 = P(HSTS) × 0.1063.
+	if s.SSL != SSLNone {
+		s.HSTS = rng.Float64() < 0.406
+		s.HSTSPreload = s.HSTS && rng.Float64() < 0.1063
+	}
+
+	// CSP (Fig. 5): ~4.7% supply a header; 15.3% of those deprecated;
+	// connect-src configured on a minority, wildcard on ~10.6% of those.
+	if rng.Float64() < 0.047 {
+		s.CSP.Present = true
+		s.CSP.HasRules = rng.Float64() < 0.92 // some headers carry no usable rules
+		s.CSP.Deprecated = rng.Float64() < 0.153
+		if s.CSP.Deprecated {
+			if rng.Float64() < 0.5 {
+				s.CSP.HeaderName = "X-Content-Security-Policy"
+			} else {
+				s.CSP.HeaderName = "X-Webkit-Csp"
+			}
+		} else {
+			s.CSP.HeaderName = "Content-Security-Policy"
+		}
+		var parts []string
+		if s.CSP.HasRules {
+			parts = append(parts, "default-src 'self'")
+			if rng.Float64() < 0.227 { // → ≈160 connect-src on 705 CSP sites
+				s.CSP.ConnectSrc = true
+				if rng.Float64() < float64(17)/160 {
+					s.CSP.Wildcard = true
+					parts = append(parts, "connect-src *")
+				} else {
+					parts = append(parts, "connect-src 'self'")
+				}
+			}
+		}
+		s.CSP.Value = strings.Join(parts, "; ")
+	}
+
+	s.UsesGoogleAnalytics = rng.Float64() < 0.63
+
+	// Object population. 88.5% of sites carry JavaScript at all; a site
+	// with JS has 2–14 script objects plus styling and images. Churn
+	// processes are calibrated so ≈87.5% of sites keep at least one
+	// name-stable script over 5 days, decaying to ≈75.3% over 100 days
+	// (Fig. 3).
+	hasJS := rng.Float64() < 0.885
+	if hasJS {
+		n := 2 + rng.Intn(13)
+		// 85.1% of JS-carrying sites keep exactly one name-eternal script
+		// (0.885 × 0.851 ≈ 75.3%, the Fig. 3 100-day floor); all other
+		// scripts churn with periods up to ~80 days, which produces the
+		// gradual decline from ≈87.5% at the 5-day window.
+		eternalIdx := -1
+		if rng.Float64() < 0.851 {
+			eternalIdx = rng.Intn(n)
+		}
+		// A non-eternal site's persistence ends when its longest-lived
+		// script is renamed. Drawing a site-level horizon L first and
+		// capping every object's period by it spreads the drop times
+		// uniformly over the study, producing Fig. 3's gradual decline
+		// (instead of max-of-n periods clustering near the cap).
+		horizon := 3 + rng.Intn(97)
+		for i := 0; i < n; i++ {
+			spec := ObjectSpec{
+				Base: fmt.Sprintf("assets/app%02d", i),
+				Kind: KindJS,
+				Size: 2048 + rng.Intn(65536),
+			}
+			if i == eternalIdx {
+				spec.RenamePeriod = 0 // name-eternal
+				// Content can still change under a stable name — Fig. 3's
+				// hash curve sits below the name curve.
+				if rng.Float64() < 0.95 {
+					spec.ContentPeriod = 0
+				} else {
+					spec.ContentPeriod = 5 + rng.Intn(90)
+				}
+			} else {
+				spec.RenamePeriod = 2 + rng.Intn(horizon)
+				// A renamed file is a changed file; content sometimes
+				// changes even faster.
+				if rng.Float64() < 0.5 {
+					spec.ContentPeriod = spec.RenamePeriod
+				} else {
+					spec.ContentPeriod = 1 + spec.RenamePeriod/2
+				}
+			}
+			s.Objects = append(s.Objects, spec)
+		}
+	}
+	// Non-script objects (not part of the persistence study but present
+	// on pages).
+	for i := 0; i < 2+rng.Intn(6); i++ {
+		s.Objects = append(s.Objects, ObjectSpec{
+			Base: fmt.Sprintf("static/media%02d", i),
+			Kind: KindImg, Size: 1024 + rng.Intn(32768),
+		})
+	}
+	s.Objects = append(s.Objects, ObjectSpec{
+		Base: "css/main", Kind: KindCSS, Size: 4096,
+	})
+	return s
+}
+
+// gen returns which generation of a churn process is live on a day.
+func gen(period, day int) int {
+	if period <= 0 {
+		return 0
+	}
+	return day / period
+}
+
+// ObjectsOn returns the site's object states for a study day.
+func (s *Site) ObjectsOn(day int) []ObjectState {
+	out := make([]ObjectState, 0, len(s.Objects)+1)
+	for i, spec := range s.Objects {
+		nameGen := gen(spec.RenamePeriod, day)
+		contentGen := gen(spec.ContentPeriod, day)
+		name := fmt.Sprintf("%s/%s.%s", s.Host, spec.Base, spec.Kind.ext())
+		if spec.RenamePeriod > 0 {
+			name = fmt.Sprintf("%s/%s.%d.%s", s.Host, spec.Base, nameGen, spec.Kind.ext())
+		}
+		out = append(out, ObjectState{
+			Name: name,
+			Hash: s.contentHash(i, contentGen),
+			Kind: spec.Kind,
+			Size: spec.Size,
+		})
+	}
+	if s.UsesGoogleAnalytics {
+		out = append(out, ObjectState{
+			Name: "analytics.example/ga.js",
+			Hash: "ga-shared-v1",
+			Kind: KindJS,
+			Size: 17000,
+		})
+	}
+	return out
+}
+
+func (s *Site) contentHash(objIdx, contentGen int) string {
+	var buf [24]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(s.seed))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(objIdx))
+	binary.BigEndian.PutUint64(buf[16:24], uint64(contentGen))
+	sum := sha256.Sum256(buf[:])
+	return hex.EncodeToString(sum[:8])
+}
+
+// SecurityHeaders renders the site's response headers.
+func (s *Site) SecurityHeaders() httpsim.Header {
+	h := httpsim.Header{}
+	if s.HSTS {
+		h.Set("Strict-Transport-Security", "max-age=63072000")
+	}
+	if s.CSP.Present {
+		h.Set(s.CSP.HeaderName, s.CSP.Value)
+	}
+	return h
+}
+
+// RenderPage produces the site's front page for a day: an HTML response
+// listing that day's objects, with the site's security headers — what the
+// paper's daily crawler fetched and hashed.
+func (s *Site) RenderPage(day int) *httpsim.Response {
+	if !s.Responds {
+		return httpsim.NewResponse(404, nil)
+	}
+	var b strings.Builder
+	b.WriteString("<html><head>")
+	for _, o := range s.ObjectsOn(day) {
+		switch o.Kind {
+		case KindJS:
+			fmt.Fprintf(&b, `<script src="%s" data-hash=%q></script>`, "//"+o.Name, o.Hash)
+		case KindCSS:
+			fmt.Fprintf(&b, `<link rel="stylesheet" href="%s">`, "//"+o.Name)
+		case KindImg:
+			fmt.Fprintf(&b, `<img src="%s">`, "//"+o.Name)
+		}
+	}
+	b.WriteString("</head><body>")
+	fmt.Fprintf(&b, "<h1>%s (rank %d)</h1>", s.Host, s.Rank)
+	b.WriteString("</body></html>")
+	resp := httpsim.NewResponse(200, []byte(b.String()))
+	resp.Header = s.SecurityHeaders()
+	resp.Header.Set("Content-Type", "text/html")
+	resp.Header.Set("Cache-Control", "max-age=600")
+	return resp
+}

@@ -1,0 +1,208 @@
+package webcorpus
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDefaultSize(t *testing.T) {
+	c := Generate(Params{Seed: 1, Sites: 100})
+	if len(c.Sites) != 100 {
+		t.Fatalf("sites = %d", len(c.Sites))
+	}
+	if Generate(Params{Seed: 1}).Params.Sites != DefaultSites {
+		t.Fatal("default size not applied")
+	}
+}
+
+func TestSiteFieldsPopulated(t *testing.T) {
+	c := Generate(Params{Sites: 500, Seed: 2})
+	sslSeen := make(map[SSLVersion]int)
+	for _, s := range c.Sites {
+		if s.Host == "" || s.Rank == 0 {
+			t.Fatalf("bad site %+v", s)
+		}
+		sslSeen[s.SSL]++
+		if s.HSTS && s.SSL == SSLNone {
+			t.Fatal("HSTS on a plaintext site")
+		}
+		if s.HSTSPreload && !s.HSTS {
+			t.Fatal("preloaded without HSTS")
+		}
+		if s.CSP.Present && s.CSP.HeaderName == "" {
+			t.Fatal("CSP present without header name")
+		}
+	}
+	for _, v := range []SSLVersion{SSLNone, SSLv2, SSLv3, TLSModern} {
+		if sslSeen[v] == 0 {
+			t.Errorf("SSL class %s never generated", v)
+		}
+	}
+}
+
+func TestObjectsOnDayZeroStable(t *testing.T) {
+	s := Generate(Params{Sites: 30, Seed: 4}).Sites[0]
+	a := s.ObjectsOn(0)
+	b := s.ObjectsOn(0)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic object count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic object state")
+		}
+	}
+}
+
+func TestEternalObjectsKeepNameForever(t *testing.T) {
+	c := Generate(Params{Sites: 200, Seed: 5})
+	checked := 0
+	for _, s := range c.Sites {
+		for i, spec := range s.Objects {
+			if spec.Kind != KindJS || spec.RenamePeriod != 0 {
+				continue
+			}
+			checked++
+			n0 := s.ObjectsOn(0)[i].Name
+			n999 := s.ObjectsOn(999)[i].Name
+			if n0 != n999 {
+				t.Fatalf("eternal object renamed: %s -> %s", n0, n999)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no eternal objects generated")
+	}
+}
+
+func TestPeriodicRenameChangesAtPeriod(t *testing.T) {
+	c := Generate(Params{Sites: 200, Seed: 6})
+	for _, s := range c.Sites {
+		for i, spec := range s.Objects {
+			if spec.RenamePeriod == 0 {
+				continue
+			}
+			before := s.ObjectsOn(spec.RenamePeriod - 1)[i].Name
+			after := s.ObjectsOn(spec.RenamePeriod)[i].Name
+			if before == after {
+				t.Fatalf("object not renamed at its period %d", spec.RenamePeriod)
+			}
+			return // one positive case suffices
+		}
+	}
+	t.Fatal("no periodic objects generated")
+}
+
+func TestContentChangeChangesHashOnly(t *testing.T) {
+	c := Generate(Params{Sites: 300, Seed: 7})
+	for _, s := range c.Sites {
+		for i, spec := range s.Objects {
+			if spec.RenamePeriod != 0 || spec.ContentPeriod == 0 {
+				continue
+			}
+			o1 := s.ObjectsOn(spec.ContentPeriod - 1)[i]
+			o2 := s.ObjectsOn(spec.ContentPeriod)[i]
+			if o1.Name != o2.Name {
+				t.Fatal("name changed with content")
+			}
+			if o1.Hash == o2.Hash {
+				t.Fatal("hash unchanged across content period")
+			}
+			return
+		}
+	}
+	t.Skip("no name-stable content-churning objects in this seed")
+}
+
+func TestRenderPageListsObjects(t *testing.T) {
+	c := Generate(Params{Sites: 50, Seed: 8})
+	var site *Site
+	for _, s := range c.Sites {
+		if s.Responds {
+			site = s
+			break
+		}
+	}
+	if site == nil {
+		t.Fatal("no responders")
+	}
+	resp := site.RenderPage(3)
+	if resp.StatusCode != 200 {
+		t.Fatal("responder served non-200")
+	}
+	body := string(resp.Body)
+	for _, o := range site.ObjectsOn(3) {
+		if !strings.Contains(body, o.Name) {
+			t.Fatalf("page missing object %s", o.Name)
+		}
+	}
+	if resp.Header.Get("Content-Type") != "text/html" {
+		t.Fatal("wrong content type")
+	}
+}
+
+func TestSecurityHeadersMatchConfig(t *testing.T) {
+	c := Generate(Params{Sites: 2000, Seed: 9})
+	for _, s := range c.Sites {
+		h := s.SecurityHeaders()
+		if s.HSTS != h.Has("Strict-Transport-Security") {
+			t.Fatal("HSTS header mismatch")
+		}
+		if s.CSP.Present && s.CSP.Value != "" && h.Get(s.CSP.HeaderName) == "" {
+			t.Fatalf("CSP header %q missing", s.CSP.HeaderName)
+		}
+	}
+}
+
+func TestSharedAnalyticsObjectIdenticalEverywhere(t *testing.T) {
+	c := Generate(Params{Sites: 300, Seed: 10})
+	var name, hash string
+	count := 0
+	for _, s := range c.Sites {
+		if !s.UsesGoogleAnalytics {
+			continue
+		}
+		for _, o := range s.ObjectsOn(7) {
+			if !strings.HasPrefix(o.Name, "analytics.example/") {
+				continue
+			}
+			count++
+			if name == "" {
+				name, hash = o.Name, o.Hash
+			} else if o.Name != name || o.Hash != hash {
+				t.Fatal("shared analytics object differs between sites")
+			}
+		}
+	}
+	if count < 100 {
+		t.Fatalf("analytics embedding count = %d, want a majority", count)
+	}
+}
+
+func TestGenDeterministicProperty(t *testing.T) {
+	f := func(seed int64, day uint8) bool {
+		a := Generate(Params{Sites: 5, Seed: seed})
+		b := Generate(Params{Sites: 5, Seed: seed})
+		for i := range a.Sites {
+			ao, bo := a.Sites[i].ObjectsOn(int(day)), b.Sites[i].ObjectsOn(int(day))
+			for j := range ao {
+				if ao[j] != bo[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[ObjectKind]string{KindJS: "js", KindCSS: "css", KindImg: "img", ObjectKind(0): "unknown"} {
+		if k.String() != want {
+			t.Errorf("kind %d = %q", k, k.String())
+		}
+	}
+}
