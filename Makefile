@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: build vet test test-short race bench bench-smoke ci
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## test: the tier-1 verify — full suite at full statistical strictness
+test:
+	$(GO) test ./...
+
+## test-short: the fast suite (-short shrinks the crawl corpora)
+test-short:
+	$(GO) test -short ./...
+
+## race: full suite under the race detector
+race:
+	$(GO) test -race ./...
+
+## bench: the root benchmark harness (tables, figures, ablations, codecs)
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+## bench-smoke: every benchmark exactly once, as a does-it-run gate
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+## ci: what .github/workflows/ci.yml runs — vet, build, race tests on the
+## short corpora (the full-size crawl would dominate the race run), and a
+## single-iteration benchmark smoke pass
+ci: vet build
+	$(GO) test -short -race ./...
+	$(MAKE) bench-smoke

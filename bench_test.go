@@ -21,16 +21,39 @@ import (
 	"masterparasite/internal/httpsim"
 	"masterparasite/internal/parasite"
 	"masterparasite/internal/proxycache"
+	"masterparasite/internal/runner"
 	"masterparasite/internal/script"
 	"masterparasite/internal/tcpsim"
 	"masterparasite/internal/webcorpus"
 )
 
+// benchPool is the scenario-fleet pool the per-artefact benchmarks run
+// on: all available cores, matching cmd/experiments' default.
+var benchPool = runner.New(0)
+
+// --- the scenario-fleet engine: sequential vs parallel ----------------
+
+// benchFleet regenerates the full deterministic artefact set (every
+// table and figure except the wall-clock C&C run) on a pool of the
+// given width. Comparing Fleet/seq with Fleet/par measures the
+// end-to-end speedup of the concurrent scenario-fleet engine.
+func benchFleet(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Deterministic(runner.New(workers), 400, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFleet_Sequential(b *testing.B) { benchFleet(b, 1) }
+func BenchmarkFleet_Parallel(b *testing.B)   { benchFleet(b, 0) }
+
 // --- one benchmark per table / figure ---------------------------------
 
 func BenchmarkTableI_CacheEviction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableI(); err != nil {
+		if _, err := experiments.TableI(benchPool); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -38,7 +61,7 @@ func BenchmarkTableI_CacheEviction(b *testing.B) {
 
 func BenchmarkTableII_TCPInjection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableII(); err != nil {
+		if _, err := experiments.TableII(benchPool); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -46,7 +69,7 @@ func BenchmarkTableII_TCPInjection(b *testing.B) {
 
 func BenchmarkTableIII_Refresh(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableIII(); err != nil {
+		if _, err := experiments.TableIII(benchPool); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -54,7 +77,7 @@ func BenchmarkTableIII_Refresh(b *testing.B) {
 
 func BenchmarkTableIV_SharedCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableIV(); err != nil {
+		if _, err := experiments.TableIV(benchPool); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -62,7 +85,7 @@ func BenchmarkTableIV_SharedCache(b *testing.B) {
 
 func BenchmarkTableV_Attacks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableV(); err != nil {
+		if _, err := experiments.TableV(benchPool); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,7 +93,7 @@ func BenchmarkTableV_Attacks(b *testing.B) {
 
 func BenchmarkFigure3_Persistency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure3(400, 20); err != nil {
+		if _, err := experiments.Figure3(benchPool, 400, 20); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -78,7 +101,7 @@ func BenchmarkFigure3_Persistency(b *testing.B) {
 
 func BenchmarkFigure5_CSPSurvey(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure5(2000); err != nil {
+		if _, err := experiments.Figure5(benchPool, 2000); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -94,7 +117,7 @@ func BenchmarkFigures124_MessageFlows(b *testing.B) {
 
 func BenchmarkCountermeasures(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Countermeasures(); err != nil {
+		if _, err := experiments.Countermeasures(benchPool); err != nil {
 			b.Fatal(err)
 		}
 	}

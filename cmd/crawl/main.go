@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"masterparasite/internal/crawler"
+	"masterparasite/internal/runner"
 	"masterparasite/internal/webcorpus"
 )
 
@@ -28,14 +29,16 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "corpus seed")
 	surveyOnly := fs.Bool("survey-only", false, "only run the header survey")
 	targets := fs.Bool("targets", false, "list per-site infection targets (name-stable scripts)")
+	parallel := fs.Int("parallel", 0, "crawl worker-pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	pool := runner.New(*parallel)
 
 	corpus := webcorpus.Generate(webcorpus.Params{Sites: *sites, Seed: *seed})
 	fmt.Printf("corpus: %d sites (seed %d)\n\n", *sites, *seed)
 
-	survey := crawler.SurveyHeaders(corpus)
+	survey := crawler.SurveyHeaders(pool, corpus)
 	fmt.Printf("responders:        %d\n", survey.Responders)
 	fmt.Printf("no HTTPS:          %.2f%%\n", survey.NoHTTPSShare)
 	fmt.Printf("vulnerable SSL:    %.2f%%\n", survey.VulnSSLShare)
@@ -52,7 +55,7 @@ func run(args []string) error {
 	}
 
 	fmt.Printf("running daily crawl over %d days...\n", *days)
-	res := crawler.CrawlPersistency(corpus, *days)
+	res := crawler.CrawlPersistency(pool, corpus, *days)
 	fmt.Printf("%-6s %-10s %-18s %-18s\n", "day", "any .js", "persistent(hash)", "persistent(name)")
 	for _, day := range []int{0, 1, 2, 5, 10, 20, 40, 60, 80, *days} {
 		if day > *days {

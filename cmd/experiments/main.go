@@ -4,9 +4,14 @@
 //
 //	experiments -run all
 //	experiments -run table1,table5,fig3 -sites 15000 -days 100
+//	experiments -run all -parallel 8
 //
 // Experiment ids: table1 table2 table3 table4 table5 fig3 fig5 cnc flows
 // countermeasures all
+//
+// -parallel N runs each experiment's independent scenarios on an N-way
+// worker pool; the rendered output is byte-identical for every N (the
+// cnc throughput run excepted — it measures wall-clock rates).
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"strings"
 
 	"masterparasite/internal/experiments"
+	"masterparasite/internal/runner"
 )
 
 func main() {
@@ -31,21 +37,23 @@ func run(args []string) error {
 	sites := fs.Int("sites", 3000, "corpus size for fig3/fig5 (paper: 15000)")
 	days := fs.Int("days", 100, "study length in days for fig3")
 	payload := fs.Int("payload", 64*1024, "C&C payload bytes for the throughput run")
+	parallel := fs.Int("parallel", 0, "scenario worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	pool := runner.New(*parallel)
 
 	registry := map[string]func() (*experiments.Result, error){
-		"table1":          experiments.TableI,
-		"table2":          experiments.TableII,
-		"table3":          experiments.TableIII,
-		"table4":          experiments.TableIV,
-		"table5":          experiments.TableV,
-		"fig3":            func() (*experiments.Result, error) { return experiments.Figure3(*sites, *days) },
-		"fig5":            func() (*experiments.Result, error) { return experiments.Figure5(*sites) },
+		"table1":          func() (*experiments.Result, error) { return experiments.TableI(pool) },
+		"table2":          func() (*experiments.Result, error) { return experiments.TableII(pool) },
+		"table3":          func() (*experiments.Result, error) { return experiments.TableIII(pool) },
+		"table4":          func() (*experiments.Result, error) { return experiments.TableIV(pool) },
+		"table5":          func() (*experiments.Result, error) { return experiments.TableV(pool) },
+		"fig3":            func() (*experiments.Result, error) { return experiments.Figure3(pool, *sites, *days) },
+		"fig5":            func() (*experiments.Result, error) { return experiments.Figure5(pool, *sites) },
 		"cnc":             func() (*experiments.Result, error) { return experiments.CNCThroughput(*payload) },
 		"flows":           experiments.MessageFlows,
-		"countermeasures": experiments.Countermeasures,
+		"countermeasures": func() (*experiments.Result, error) { return experiments.Countermeasures(pool) },
 	}
 	order := []string{"table1", "table2", "table3", "table4", "table5",
 		"fig3", "fig5", "cnc", "flows", "countermeasures"}

@@ -1,0 +1,3 @@
+module masterparasite
+
+go 1.22

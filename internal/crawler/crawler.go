@@ -7,6 +7,12 @@
 // The crawler consumes rendered pages — it parses HTML and response
 // headers exactly as a crawler over the live web would — with the
 // synthetic corpus standing in for the Alexa population.
+//
+// Crawling is embarrassingly parallel: pages render purely from the
+// corpus's deterministic generators, so the daily crawl fans out one
+// job per day and the header survey one job per site, both through the
+// scenario-fleet runner with results folded in submission order. The
+// statistics are bit-identical at any worker count.
 package crawler
 
 import (
@@ -14,6 +20,7 @@ import (
 
 	"masterparasite/internal/browser"
 	"masterparasite/internal/dom"
+	"masterparasite/internal/runner"
 	"masterparasite/internal/webcorpus"
 )
 
@@ -80,9 +87,12 @@ func crawlDay(site *webcorpus.Site, day int) (scriptObs, bool) {
 	return obs, true
 }
 
-// CrawlPersistency runs the daily crawl for the given number of days and
-// produces the Fig. 3 curves.
-func CrawlPersistency(c *webcorpus.Corpus, days int) *PersistencyResult {
+// CrawlPersistency runs the daily crawl for the given number of days
+// and produces the Fig. 3 curves. The day-0 baseline crawl fans out
+// one job per site, then each measurement day is one independent job;
+// points come back in day order, so the result is identical at any
+// worker count.
+func CrawlPersistency(r *runner.Runner, c *webcorpus.Corpus, days int) *PersistencyResult {
 	if days <= 0 {
 		days = webcorpus.StudyDays
 	}
@@ -90,19 +100,39 @@ func CrawlPersistency(c *webcorpus.Corpus, days int) *PersistencyResult {
 		obs scriptObs
 		ok  bool
 	}
-	baselines := make([]baseline, len(c.Sites))
-	crawled := 0
-	for i, s := range c.Sites {
+	baselines, _ := runner.Map(r, c.Sites, func(_ int, s *webcorpus.Site) (baseline, error) {
 		obs, ok := crawlDay(s, 0)
-		baselines[i] = baseline{obs: obs, ok: ok}
-		if ok {
+		return baseline{obs: obs, ok: ok}, nil
+	})
+	crawled := 0
+	for _, b := range baselines {
+		if b.ok {
 			crawled++
 		}
 	}
 	// Percentages are over successfully crawled sites, as in the paper
 	// (its statistics are over the 13,419 responders).
 	res := &PersistencyResult{Sites: crawled}
-	for day := 0; day <= days; day++ {
+
+	// Day 0 needs no second crawl: every baseline trivially persists
+	// against itself, so all three curves start at the share of crawled
+	// sites serving at least one script.
+	withJS := 0
+	for _, b := range baselines {
+		if b.ok && len(b.obs.names) > 0 {
+			withJS++
+		}
+	}
+	day0Share := 100 * float64(withJS) / float64(crawled)
+	res.Points = append(res.Points, PersistencyPoint{
+		Day: 0, AnyJS: day0Share, PersistentName: day0Share, PersistentHash: day0Share,
+	})
+
+	dayList := make([]int, days)
+	for i := range dayList {
+		dayList[i] = i + 1
+	}
+	points, _ := runner.Map(r, dayList, func(_ int, day int) (PersistencyPoint, error) {
 		var anyJS, persName, persHash int
 		for i, s := range c.Sites {
 			if !baselines[i].ok {
@@ -134,13 +164,14 @@ func CrawlPersistency(c *webcorpus.Corpus, days int) *PersistencyResult {
 			}
 		}
 		n := float64(crawled)
-		res.Points = append(res.Points, PersistencyPoint{
+		return PersistencyPoint{
 			Day:            day,
 			AnyJS:          100 * float64(anyJS) / n,
 			PersistentName: 100 * float64(persName) / n,
 			PersistentHash: 100 * float64(persHash) / n,
-		})
-	}
+		}, nil
+	})
+	res.Points = append(res.Points, points...)
 	return res
 }
 
@@ -191,49 +222,87 @@ type HeaderSurvey struct {
 	ConnectSrcStar  int
 }
 
+// siteObs is one site's contribution to the header survey, produced by
+// an independent crawl job and folded into the totals in site order.
+type siteObs struct {
+	noHTTPS, vulnSSL bool
+	responds         bool
+	noHSTS, preload  bool
+	cspVersion       string // "" = no CSP
+	cspRules         bool
+	cspDeprecated    bool
+	connectSrc       bool
+	connectSrcStar   bool
+}
+
 // SurveyHeaders crawls every responding site's front page once and
-// tallies the security-header statistics.
-func SurveyHeaders(c *webcorpus.Corpus) *HeaderSurvey {
-	s := &HeaderSurvey{Sites: len(c.Sites), VersionCounts: make(map[string]int)}
-	var noHTTPS, vulnSSL int
-	var cspAny, cspRules, cspDeprecated int
-	for _, site := range c.Sites {
+// tallies the security-header statistics. One job per site.
+func SurveyHeaders(r *runner.Runner, c *webcorpus.Corpus) *HeaderSurvey {
+	obs, _ := runner.Map(r, c.Sites, func(_ int, site *webcorpus.Site) (siteObs, error) {
+		var o siteObs
 		switch site.SSL {
 		case webcorpus.SSLNone:
-			noHTTPS++
+			o.noHTTPS = true
 		case webcorpus.SSLv2, webcorpus.SSLv3:
-			vulnSSL++
+			o.vulnSSL = true
 		}
 		resp := site.RenderPage(0)
 		if resp.StatusCode != 200 {
+			return o, nil
+		}
+		o.responds = true
+		o.noHSTS = !resp.Header.Has("Strict-Transport-Security")
+		o.preload = site.HSTSPreload
+		csp := browser.CSPFromHeaders(resp.Header.Get)
+		if csp.Present {
+			o.cspRules = len(csp.Directives) > 0
+			o.cspDeprecated = csp.Deprecated
+			switch {
+			case !csp.Deprecated:
+				o.cspVersion = "CSP"
+			case resp.Header.Get(browser.CSPHeaderDeprecated) != "":
+				o.cspVersion = "X-CSP"
+			default:
+				o.cspVersion = "X-Webkit-CSP"
+			}
+			o.connectSrc = csp.HasDirective("connect-src")
+			o.connectSrcStar = o.connectSrc && csp.Wildcard("connect-src")
+		}
+		return o, nil
+	})
+
+	s := &HeaderSurvey{Sites: len(c.Sites), VersionCounts: make(map[string]int)}
+	var noHTTPS, vulnSSL int
+	var cspAny, cspRules, cspDeprecated int
+	for _, o := range obs {
+		if o.noHTTPS {
+			noHTTPS++
+		}
+		if o.vulnSSL {
+			vulnSSL++
+		}
+		if !o.responds {
 			continue
 		}
 		s.Responders++
-		if !resp.Header.Has("Strict-Transport-Security") {
+		if o.noHSTS {
 			s.NoHSTSCount++
 		}
-		if site.HSTSPreload {
+		if o.preload {
 			s.PreloadCount++
 		}
-		csp := browser.CSPFromHeaders(resp.Header.Get)
-		if csp.Present {
+		if o.cspVersion != "" {
 			cspAny++
-			if len(csp.Directives) > 0 {
+			if o.cspRules {
 				cspRules++
 			}
-			if csp.Deprecated {
+			if o.cspDeprecated {
 				cspDeprecated++
-				if resp.Header.Get(browser.CSPHeaderDeprecated) != "" {
-					s.VersionCounts["X-CSP"]++
-				} else {
-					s.VersionCounts["X-Webkit-CSP"]++
-				}
-			} else {
-				s.VersionCounts["CSP"]++
 			}
-			if csp.HasDirective("connect-src") {
+			s.VersionCounts[o.cspVersion]++
+			if o.connectSrc {
 				s.ConnectSrcUses++
-				if csp.Wildcard("connect-src") {
+				if o.connectSrcStar {
 					s.ConnectSrcStar++
 				}
 			}

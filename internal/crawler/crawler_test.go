@@ -2,41 +2,72 @@ package crawler
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
+	"masterparasite/internal/runner"
 	"masterparasite/internal/webcorpus"
 )
 
-// testCorpus is used for the (expensive) daily-crawl tests; 3000 sites
-// keeps the statistics tight enough (±2.5%) while staying fast.
+// testRunner fans crawl jobs out over all available cores; every
+// statistic is deterministic regardless of the worker count.
+func testRunner() *runner.Runner { return runner.New(0) }
+
+// testCorpus is used for the (expensive) daily-crawl tests. The full
+// run uses 3000 sites, keeping the statistics tight (±2.5%); -short
+// shrinks the population so the race-detector CI run stays fast, at
+// the cost of wider (but still deterministic, fixed-seed) tolerances.
 func testCorpus() *webcorpus.Corpus {
-	return webcorpus.Generate(webcorpus.Params{Sites: 3000, Seed: 11})
+	sites := 3000
+	if testing.Short() {
+		sites = 800
+	}
+	return webcorpus.Generate(webcorpus.Params{Sites: sites, Seed: 11})
 }
 
 // headerCorpus is larger: the survey crawls each site once, so a bigger
 // sample sharpens the small CSP population's statistics.
 func headerCorpus() *webcorpus.Corpus {
-	return webcorpus.Generate(webcorpus.Params{Sites: 12000, Seed: 13})
+	sites := 12000
+	if testing.Short() {
+		sites = 4000
+	}
+	return webcorpus.Generate(webcorpus.Params{Sites: sites, Seed: 13})
 }
 
-func within(t *testing.T, name string, got, want, tol float64) {
+// tol widens a full-run tolerance in -short mode, where the smaller
+// population has more sampling noise around the paper's anchors.
+func tol(full float64) float64 {
+	if testing.Short() {
+		return 2 * full
+	}
+	return full
+}
+
+func within(t *testing.T, name string, got, want, tolerance float64) {
 	t.Helper()
-	if math.Abs(got-want) > tol {
-		t.Errorf("%s = %.2f, want %.2f ± %.1f", name, got, want, tol)
+	if math.Abs(got-want) > tolerance {
+		t.Errorf("%s = %.2f, want %.2f ± %.1f", name, got, want, tolerance)
 	}
 }
 
 func TestPersistencyCurveShape(t *testing.T) {
+	t.Parallel()
+	days := 100
+	if testing.Short() {
+		days = 40
+	}
 	c := testCorpus()
-	res := CrawlPersistency(c, 100)
-	if len(res.Points) != 101 {
+	res := CrawlPersistency(testRunner(), c, days)
+	if len(res.Points) != days+1 {
 		t.Fatalf("points = %d", len(res.Points))
 	}
-	p5, p100 := res.At(5), res.At(100)
 
 	// Fig. 3 anchors: ≈87.5% name-persistent at 5 days, ≈75.3% at 100.
-	within(t, "persistent(name) day 5", p5.PersistentName, 87.5, 2.5)
-	within(t, "persistent(name) day 100", p100.PersistentName, 75.3, 2.5)
+	within(t, "persistent(name) day 5", res.At(5).PersistentName, 87.5, tol(2.5))
+	if !testing.Short() {
+		within(t, "persistent(name) day 100", res.At(100).PersistentName, 75.3, 2.5)
+	}
 
 	// The hash curve sits at or below the name curve everywhere: a file
 	// cannot be content-stable under a changed name (our generator ties
@@ -58,12 +89,13 @@ func TestPersistencyCurveShape(t *testing.T) {
 	}
 
 	// AnyJS stays roughly flat near 88-89%.
-	within(t, "any .js day 100", p100.AnyJS, 88.5, 2.5)
+	within(t, "any .js last day", res.At(days).AnyJS, 88.5, tol(2.5))
 }
 
 func TestPersistencyDeterministic(t *testing.T) {
-	a := CrawlPersistency(webcorpus.Generate(webcorpus.Params{Sites: 200, Seed: 5}), 10)
-	b := CrawlPersistency(webcorpus.Generate(webcorpus.Params{Sites: 200, Seed: 5}), 10)
+	t.Parallel()
+	a := CrawlPersistency(testRunner(), webcorpus.Generate(webcorpus.Params{Sites: 200, Seed: 5}), 10)
+	b := CrawlPersistency(testRunner(), webcorpus.Generate(webcorpus.Params{Sites: 200, Seed: 5}), 10)
 	for i := range a.Points {
 		if a.Points[i] != b.Points[i] {
 			t.Fatalf("day %d differs between identical corpora", i)
@@ -71,7 +103,28 @@ func TestPersistencyDeterministic(t *testing.T) {
 	}
 }
 
+// TestParallelCrawlMatchesSequential pins the fleet-runner guarantee at
+// the crawler level: any worker count produces bit-identical curves and
+// survey tallies.
+func TestParallelCrawlMatchesSequential(t *testing.T) {
+	t.Parallel()
+	c := webcorpus.Generate(webcorpus.Params{Sites: 300, Seed: 7})
+	seqCrawl := CrawlPersistency(runner.New(1), c, 15)
+	seqSurvey := SurveyHeaders(runner.New(1), c)
+	for _, workers := range []int{4, 8} {
+		parCrawl := CrawlPersistency(runner.New(workers), c, 15)
+		if !reflect.DeepEqual(seqCrawl, parCrawl) {
+			t.Fatalf("workers=%d: persistency curves differ from sequential", workers)
+		}
+		parSurvey := SurveyHeaders(runner.New(workers), c)
+		if !reflect.DeepEqual(seqSurvey, parSurvey) {
+			t.Fatalf("workers=%d: header survey differs from sequential", workers)
+		}
+	}
+}
+
 func TestSelectTargetsStableNames(t *testing.T) {
+	t.Parallel()
 	c := webcorpus.Generate(webcorpus.Params{Sites: 300, Seed: 3})
 	targets := SelectTargets(c, 30)
 	if len(targets) == 0 {
@@ -102,23 +155,24 @@ func TestSelectTargetsStableNames(t *testing.T) {
 }
 
 func TestHeaderSurveyMarginals(t *testing.T) {
-	s := SurveyHeaders(headerCorpus())
+	t.Parallel()
+	s := SurveyHeaders(testRunner(), headerCorpus())
 
 	// §V: 21% no HTTPS, ~7% vulnerable SSL.
-	within(t, "no-HTTPS share", s.NoHTTPSShare, 21, 2.5)
-	within(t, "vulnerable SSL share", s.VulnSSLShare, 7, 1.5)
+	within(t, "no-HTTPS share", s.NoHTTPSShare, 21, tol(2.5))
+	within(t, "vulnerable SSL share", s.VulnSSLShare, 7, tol(1.5))
 
 	// §V: 67.92% of responders without HSTS; preload rare; ~96.6%
 	// SSL-strippable.
-	within(t, "no-HSTS share", s.NoHSTSShare, 67.92, 3.0)
-	within(t, "strippable share", s.StrippableShare, 96.59, 1.5)
+	within(t, "no-HSTS share", s.NoHSTSShare, 67.92, tol(3.0))
+	within(t, "strippable share", s.StrippableShare, 96.59, tol(1.5))
 	if s.PreloadCount == 0 {
 		t.Error("no preloaded sites at all")
 	}
 
 	// Fig. 5: ~4.7% supply CSP, ~15.3% of those deprecated.
-	within(t, "CSP header share", s.CSPHeaderShare, 4.7, 1.2)
-	within(t, "deprecated CSP share", s.DeprecatedShare, 15.3, 7.0)
+	within(t, "CSP header share", s.CSPHeaderShare, 4.7, tol(1.2))
+	within(t, "deprecated CSP share", s.DeprecatedShare, 15.3, tol(7.0))
 	if s.ConnectSrcUses == 0 {
 		t.Error("no connect-src usage observed")
 	}
@@ -133,15 +187,17 @@ func TestHeaderSurveyMarginals(t *testing.T) {
 	}
 
 	// Responders ≈ 89.5% (13419/15000 in the paper).
-	within(t, "responder share", 100*float64(s.Responders)/float64(s.Sites), 89.46, 2.0)
+	within(t, "responder share", 100*float64(s.Responders)/float64(s.Sites), 89.46, tol(2.0))
 }
 
 func TestAnalyticsShare(t *testing.T) {
+	t.Parallel()
 	got := AnalyticsShare(testCorpus())
-	within(t, "analytics share", got, 63, 3.0)
+	within(t, "analytics share", got, 63, tol(3.0))
 }
 
 func TestCorpusDeterminism(t *testing.T) {
+	t.Parallel()
 	a := webcorpus.Generate(webcorpus.Params{Sites: 50, Seed: 9})
 	b := webcorpus.Generate(webcorpus.Params{Sites: 50, Seed: 9})
 	for i := range a.Sites {
@@ -158,6 +214,7 @@ func TestCorpusDeterminism(t *testing.T) {
 }
 
 func TestRenamedObjectChangesNameAndHash(t *testing.T) {
+	t.Parallel()
 	c := webcorpus.Generate(webcorpus.Params{Sites: 100, Seed: 2})
 	foundRename := false
 	for _, s := range c.Sites {
@@ -181,6 +238,7 @@ func TestRenamedObjectChangesNameAndHash(t *testing.T) {
 }
 
 func TestNonRespondingSiteCrawl(t *testing.T) {
+	t.Parallel()
 	c := webcorpus.Generate(webcorpus.Params{Sites: 400, Seed: 8})
 	nonResponders := 0
 	for _, s := range c.Sites {

@@ -8,6 +8,7 @@ import (
 	"masterparasite/internal/browser"
 	"masterparasite/internal/core"
 	"masterparasite/internal/parasite"
+	"masterparasite/internal/runner"
 	"masterparasite/internal/script"
 	"masterparasite/internal/tcpsim"
 )
@@ -28,8 +29,9 @@ type CountermeasureRow struct {
 
 // Countermeasures reproduces §VIII: each recommended defence (plus the
 // TCP-reassembly ablation) runs against the full kill chain, and the row
-// records which stages it stops.
-func Countermeasures() (*Result, error) {
+// records which stages it stops. Every defence variant is one
+// independent scenario job.
+func Countermeasures(r *runner.Runner) (*Result, error) {
 	type variant struct {
 		name string
 		cfg  core.Config
@@ -71,15 +73,17 @@ func Countermeasures() (*Result, error) {
 		},
 	}
 
-	var rows []CountermeasureRow
-	for _, v := range variants {
+	rows, err := runner.Map(r, variants, func(_ int, v variant) (CountermeasureRow, error) {
 		row, err := runCountermeasure(v.cfg, v.prep)
 		if err != nil {
-			return nil, fmt.Errorf("countermeasure %q: %w", v.name, err)
+			return row, fmt.Errorf("countermeasure %q: %w", v.name, err)
 		}
 		row.Defence = v.name
 		row.Note = v.note
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-32s %-9s %-10s %-11s %-5s %s\n", "Defence", "Infected", "Persisted", "Propagated", "C&C", "Note")

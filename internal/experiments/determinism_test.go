@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"masterparasite/internal/browser"
+	"masterparasite/internal/runner"
+)
+
+// regenerate renders the full deterministic artefact set (every table
+// and figure except the wall-clock C&C throughput run) with the given
+// worker count, at sizes small enough for the race-detector CI run.
+func regenerate(t *testing.T, workers int) string {
+	t.Helper()
+	results, err := Deterministic(runner.New(workers), 400, 20)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var b strings.Builder
+	for _, r := range results {
+		b.WriteString("== " + r.Title + " ==\n")
+		b.WriteString(r.Text)
+	}
+	return b.String()
+}
+
+// TestParallelRegenerationByteIdentical is the fleet engine's core
+// guarantee: regenerating every table and figure on 4 or 8 workers
+// produces output byte-identical to the sequential run.
+func TestParallelRegenerationByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the artefact set three times; run without -short")
+	}
+	sequential := regenerate(t, 1)
+	if !strings.Contains(sequential, "Table I") || !strings.Contains(sequential, "countermeasures") {
+		t.Fatalf("sequential regeneration incomplete:\n%.400s", sequential)
+	}
+	for _, workers := range []int{4, 8} {
+		parallel := regenerate(t, workers)
+		if parallel != sequential {
+			t.Errorf("workers=%d: output differs from sequential run\nseq:\n%.600s\npar:\n%.600s",
+				workers, sequential, parallel)
+		}
+	}
+}
+
+// TestFleetStressKillChains hammers the runner with many concurrent
+// full kill-chain scenarios — the race detector's chance to catch any
+// state shared between supposedly self-contained scenarios.
+func TestFleetStressKillChains(t *testing.T) {
+	var profiles []browser.Profile
+	for _, p := range browser.TableIIBrowsers() {
+		if p.RunsOn(browser.Win10) {
+			profiles = append(profiles, p)
+		}
+	}
+	rows, err := runner.Map(runner.New(8), make([]struct{}, 24), func(i int, _ struct{}) (TableIICell, error) {
+		p := profiles[i%len(profiles)]
+		ok, err := injectionSucceeds(p, browser.Win10)
+		if err != nil {
+			return TableIICell{}, err
+		}
+		return TableIICell{Browser: p.Name, OS: browser.Win10, Exists: true, Injected: ok}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range rows {
+		if !c.Injected {
+			t.Errorf("kill chain %d (%s) failed under concurrency", i, c.Browser)
+		}
+	}
+}

@@ -3,6 +3,13 @@
 // simulated substrate and renders rows comparable to the published
 // artefact. See DESIGN.md §3 for the per-experiment index and
 // EXPERIMENTS.md for paper-vs-measured results.
+//
+// Every experiment is expressed as a batch of independent jobs — one
+// scenario per table row, cell, or variant — submitted to a
+// runner.Runner. Scenarios are self-contained (each job builds its own
+// network, stacks, browser and C&C), and the runner assembles results
+// in submission order, so regeneration is byte-identical at any worker
+// count.
 package experiments
 
 import (
@@ -15,6 +22,7 @@ import (
 	"masterparasite/internal/httpcache"
 	"masterparasite/internal/httpsim"
 	"masterparasite/internal/parasite"
+	"masterparasite/internal/runner"
 	"masterparasite/internal/script"
 )
 
@@ -60,50 +68,13 @@ type TableIRow struct {
 // profile, prime the cache with objects of two victim domains, run the
 // Fig. 1 eviction flood through the full network path, and observe
 // whether the victims' objects were supplanted (and whether the browser
-// survived).
-func TableI() (*Result, error) {
-	var rows []TableIRow
-	for _, p := range browser.TableIProfiles() {
-		scaled := scaleProfile(p)
-		s, err := core.NewScenario(core.Config{ProfileOverride: &scaled, Seed: 31})
-		if err != nil {
-			return nil, fmt.Errorf("table I %s: %w", p.UserAgent(), err)
-		}
-		// Two victim domains to separate "evicts at all" from
-		// "inter-domain eviction".
-		for _, d := range []string{"popular.com", "other.com"} {
-			s.AddPage(d, "/", fmt.Sprintf(`<html><body><script src="/app.js"></script></body></html>`), nil)
-			s.AddPage(d, "/app.js", "function "+strings.ReplaceAll(d, ".", "_")+"(){}",
-				map[string]string{"Cache-Control": "max-age=86400", "Content-Type": "application/javascript"})
-		}
-		s.AddPage("any.com", "/", `<html><body>benign</body></html>`, map[string]string{"Cache-Control": "no-store"})
-
-		if _, err := s.Visit("popular.com", "/"); err != nil {
-			return nil, fmt.Errorf("table I prime: %w", err)
-		}
-		if _, err := s.Visit("other.com", "/"); err != nil {
-			return nil, fmt.Errorf("table I prime: %w", err)
-		}
-
-		// Flood 1.5× the cache budget in junk.
-		junkSize := 4096
-		junkCount := int(scaled.CacheSize)*3/2/junkSize + 1
-		s.Master.EnableEviction(core.JunkHost, junkCount, junkSize, "any.com")
-		_, verr := s.Visit("any.com", "/")
-
-		evicted := !s.Victim.Cache().Contains("popular.com", "popular.com/app.js")
-		interDomain := evicted && !s.Victim.Cache().Contains("other.com", "other.com/app.js")
-		oom := s.Victim.OOMKilled() || verr != nil
-		if oom {
-			// The browser died instead of evicting: IE's failure mode.
-			evicted = false
-			interDomain = false
-		}
-		rows = append(rows, TableIRow{
-			Browser: p.Name + map[bool]string{true: "*", false: ""}[p.Incognito], Version: p.Version,
-			Eviction: evicted, InterDomain: interDomain,
-			SizeNote: p.SizeNote, Remark: p.Remark, OOMKilled: oom,
-		})
+// survived). Each profile is one independent scenario job.
+func TableI(r *runner.Runner) (*Result, error) {
+	rows, err := runner.Map(r, browser.TableIProfiles(), func(_ int, p browser.Profile) (TableIRow, error) {
+		return tableIRow(p)
+	})
+	if err != nil {
+		return nil, err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-9s %-17s %-3s %-4s %-9s %s\n", "Browser", "Version", "Ev.", "I.D.", "Size", "Remarks")
@@ -112,6 +83,51 @@ func TableI() (*Result, error) {
 			r.Browser, r.Version, mark(r.Eviction), mark(r.InterDomain), r.SizeNote, r.Remark)
 	}
 	return &Result{ID: "table1", Title: "Table I: cache eviction on popular browsers", Text: b.String(), Data: rows}, nil
+}
+
+// tableIRow runs the eviction evaluation for one browser profile in a
+// fresh, self-contained scenario.
+func tableIRow(p browser.Profile) (TableIRow, error) {
+	scaled := scaleProfile(p)
+	s, err := core.NewScenario(core.Config{ProfileOverride: &scaled, Seed: 31})
+	if err != nil {
+		return TableIRow{}, fmt.Errorf("table I %s: %w", p.UserAgent(), err)
+	}
+	// Two victim domains to separate "evicts at all" from
+	// "inter-domain eviction".
+	for _, d := range []string{"popular.com", "other.com"} {
+		s.AddPage(d, "/", fmt.Sprintf(`<html><body><script src="/app.js"></script></body></html>`), nil)
+		s.AddPage(d, "/app.js", "function "+strings.ReplaceAll(d, ".", "_")+"(){}",
+			map[string]string{"Cache-Control": "max-age=86400", "Content-Type": "application/javascript"})
+	}
+	s.AddPage("any.com", "/", `<html><body>benign</body></html>`, map[string]string{"Cache-Control": "no-store"})
+
+	if _, err := s.Visit("popular.com", "/"); err != nil {
+		return TableIRow{}, fmt.Errorf("table I prime: %w", err)
+	}
+	if _, err := s.Visit("other.com", "/"); err != nil {
+		return TableIRow{}, fmt.Errorf("table I prime: %w", err)
+	}
+
+	// Flood 1.5× the cache budget in junk.
+	junkSize := 4096
+	junkCount := int(scaled.CacheSize)*3/2/junkSize + 1
+	s.Master.EnableEviction(core.JunkHost, junkCount, junkSize, "any.com")
+	_, verr := s.Visit("any.com", "/")
+
+	evicted := !s.Victim.Cache().Contains("popular.com", "popular.com/app.js")
+	interDomain := evicted && !s.Victim.Cache().Contains("other.com", "other.com/app.js")
+	oom := s.Victim.OOMKilled() || verr != nil
+	if oom {
+		// The browser died instead of evicting: IE's failure mode.
+		evicted = false
+		interDomain = false
+	}
+	return TableIRow{
+		Browser: p.Name + map[bool]string{true: "*", false: ""}[p.Incognito], Version: p.Version,
+		Eviction: evicted, InterDomain: interDomain,
+		SizeNote: p.SizeNote, Remark: p.Remark, OOMKilled: oom,
+	}, nil
 }
 
 // TableIICell is one OS×browser injection outcome.
@@ -125,20 +141,31 @@ type TableIICell struct {
 // TableII reproduces the TCP-injection evaluation across every existing
 // OS × browser pair: set up the WiFi victim, arm the infection module,
 // visit the target site and check whether the parasite landed in cache.
-func TableII() (*Result, error) {
-	var cells []TableIICell
+// Every OS × browser pair is one independent scenario job.
+func TableII(r *runner.Runner) (*Result, error) {
+	type pair struct {
+		os browser.OS
+		p  browser.Profile
+	}
+	var pairs []pair
 	for _, os := range browser.AllOSes() {
 		for _, p := range browser.TableIIBrowsers() {
-			cell := TableIICell{OS: os, Browser: p.Name, Exists: p.RunsOn(os)}
-			if cell.Exists {
-				ok, err := injectionSucceeds(p, os)
-				if err != nil {
-					return nil, fmt.Errorf("table II %s/%s: %w", p.Name, os, err)
-				}
-				cell.Injected = ok
-			}
-			cells = append(cells, cell)
+			pairs = append(pairs, pair{os: os, p: p})
 		}
+	}
+	cells, err := runner.Map(r, pairs, func(_ int, pr pair) (TableIICell, error) {
+		cell := TableIICell{OS: pr.os, Browser: pr.p.Name, Exists: pr.p.RunsOn(pr.os)}
+		if cell.Exists {
+			ok, err := injectionSucceeds(pr.p, pr.os)
+			if err != nil {
+				return cell, fmt.Errorf("table II %s/%s: %w", pr.p.Name, pr.os, err)
+			}
+			cell.Injected = ok
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-8s", "OS")
@@ -203,31 +230,62 @@ type TableIIIRow struct {
 
 // TableIII reproduces the refresh-method evaluation: a parasite anchored
 // in the Cache API must survive Ctrl+F5 and cache clearing, and fall only
-// to cookie (site-data) clearing.
-func TableIII() (*Result, error) {
-	var rows []TableIIIRow
+// to cookie (site-data) clearing. Every (browser, method) combination is
+// one independent scenario job; rows are folded back in profile order.
+func TableIII(r *runner.Runner) (*Result, error) {
+	var profiles []browser.Profile
 	for _, p := range browser.TableIProfiles() {
 		if p.Incognito {
 			continue // Table III lists the five base browsers
 		}
-		row := TableIIIRow{Browser: p.Name, SupportsCacheAPI: p.SupportsCacheAPI}
-		if p.SupportsCacheAPI {
-			for _, method := range []string{"ctrlf5", "clearcache", "clearcookies"} {
-				removed, err := refreshRemovesParasite(p, method)
-				if err != nil {
-					return nil, fmt.Errorf("table III %s %s: %w", p.Name, method, err)
-				}
-				switch method {
-				case "ctrlf5":
-					row.CtrlF5Removes = removed
-				case "clearcache":
-					row.ClearCacheRemoves = removed
-				case "clearcookies":
-					row.CookiesRemoves = removed
-				}
-			}
+		profiles = append(profiles, p)
+	}
+	methods := []string{"ctrlf5", "clearcache", "clearcookies"}
+	type job struct {
+		p      browser.Profile
+		method string
+	}
+	type verdict struct {
+		browser string
+		method  string
+		removed bool
+	}
+	var jobs []job
+	for _, p := range profiles {
+		if !p.SupportsCacheAPI {
+			continue
 		}
-		rows = append(rows, row)
+		for _, m := range methods {
+			jobs = append(jobs, job{p: p, method: m})
+		}
+	}
+	verdicts, err := runner.Map(r, jobs, func(_ int, j job) (verdict, error) {
+		ok, err := refreshRemovesParasite(j.p, j.method)
+		if err != nil {
+			return verdict{}, fmt.Errorf("table III %s %s: %w", j.p.Name, j.method, err)
+		}
+		return verdict{browser: j.p.Name, method: j.method, removed: ok}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	byBrowser := make(map[string]int)
+	rows := make([]TableIIIRow, 0, len(profiles))
+	for i, p := range profiles {
+		rows = append(rows, TableIIIRow{Browser: p.Name, SupportsCacheAPI: p.SupportsCacheAPI})
+		byBrowser[p.Name] = i
+	}
+	for _, v := range verdicts {
+		row := &rows[byBrowser[v.browser]]
+		switch v.method {
+		case "ctrlf5":
+			row.CtrlF5Removes = v.removed
+		case "clearcache":
+			row.ClearCacheRemoves = v.removed
+		case "clearcookies":
+			row.CookiesRemoves = v.removed
+		}
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-9s %-8s %-12s %-13s\n", "Browser", "Ctrl+F5", "clear cache", "clear cookies")

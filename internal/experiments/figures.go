@@ -13,12 +13,14 @@ import (
 	"masterparasite/internal/crawler"
 	"masterparasite/internal/netsim"
 	"masterparasite/internal/parasite"
+	"masterparasite/internal/runner"
 	"masterparasite/internal/webcorpus"
 )
 
 // Figure3 reproduces the persistency measurement: a daily crawl of the
-// synthetic Alexa population, rendered as the three curves of the figure.
-func Figure3(sites, days int) (*Result, error) {
+// synthetic Alexa population, rendered as the three curves of the
+// figure. The crawl fans out per-day jobs on the runner.
+func Figure3(r *runner.Runner, sites, days int) (*Result, error) {
 	if sites <= 0 {
 		sites = 3000
 	}
@@ -26,7 +28,7 @@ func Figure3(sites, days int) (*Result, error) {
 		days = webcorpus.StudyDays
 	}
 	corpus := webcorpus.Generate(webcorpus.Params{Sites: sites, Seed: 1})
-	res := crawler.CrawlPersistency(corpus, days)
+	res := crawler.CrawlPersistency(r, corpus, days)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "sites crawled: %d, days: %d\n", res.Sites, days)
@@ -45,12 +47,13 @@ func Figure3(sites, days int) (*Result, error) {
 }
 
 // Figure5 reproduces the CSP statistics plus the §V HSTS/HTTPS survey.
-func Figure5(sites int) (*Result, error) {
+// The survey fans out per-site jobs on the runner.
+func Figure5(r *runner.Runner, sites int) (*Result, error) {
 	if sites <= 0 {
 		sites = webcorpus.DefaultSites
 	}
 	corpus := webcorpus.Generate(webcorpus.Params{Sites: sites, Seed: 1})
-	s := crawler.SurveyHeaders(corpus)
+	s := crawler.SurveyHeaders(r, corpus)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "population: %d sites, %d responders\n\n", s.Sites, s.Responders)
@@ -240,15 +243,24 @@ func MessageFlows() (*Result, error) {
 	return &Result{ID: "flows", Title: "Figures 1/2/4: message flows", Text: out.String(), Data: nil}, nil
 }
 
-// All runs every experiment with tractable default sizes.
-func All(sites, days int) ([]*Result, error) {
+// Deterministic regenerates every table and figure whose rendered
+// output is a pure function of the seeds — all artefacts except the
+// wall-clock C&C throughput measurement, which cmd/experiments runs
+// separately. Experiments run one after another (each already fans its
+// rows out on the runner), so the concatenated output is byte-identical
+// at any worker count.
+func Deterministic(run *runner.Runner, sites, days int) ([]*Result, error) {
 	var out []*Result
 	for _, fn := range []func() (*Result, error){
-		TableI, TableII, TableIII, TableIV, TableV,
-		func() (*Result, error) { return Figure3(sites, days) },
-		func() (*Result, error) { return Figure5(sites) },
-		func() (*Result, error) { return CNCThroughput(0) },
+		func() (*Result, error) { return TableI(run) },
+		func() (*Result, error) { return TableII(run) },
+		func() (*Result, error) { return TableIII(run) },
+		func() (*Result, error) { return TableIV(run) },
+		func() (*Result, error) { return TableV(run) },
+		func() (*Result, error) { return Figure3(run, sites, days) },
+		func() (*Result, error) { return Figure5(run, sites) },
 		MessageFlows,
+		func() (*Result, error) { return Countermeasures(run) },
 	} {
 		r, err := fn()
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 	"masterparasite/internal/dom"
 	"masterparasite/internal/parasite"
 	"masterparasite/internal/proxycache"
+	"masterparasite/internal/runner"
 )
 
 // TableIVRow is one cache-device row with its functional verification.
@@ -23,17 +24,20 @@ type TableIVRow struct {
 // TableIV reproduces the caches-in-the-wild evaluation: the device
 // taxonomy plus, for every shared HTTP-capable device, a functional
 // infection run showing that one poisoned entry reaches every client.
-func TableIV() (*Result, error) {
+// Every device is one independent job with its own cache instance.
+func TableIV(r *runner.Runner) (*Result, error) {
 	const clients = 8
-	var rows []TableIVRow
-	for _, d := range proxycache.Devices() {
+	rows, err := runner.Map(r, proxycache.Devices(), func(_ int, d proxycache.Device) (TableIVRow, error) {
 		row := TableIVRow{Device: d, VictimsServed: -1}
 		if d.Shared && d.HTTP.Vulnerable() {
 			cache := proxycache.NewSharedCache(d.Instance, 1<<20, false, nil)
 			res := proxycache.RunInfection(cache, infectedJS(), clients)
 			row.VictimsServed = res.VictimsServed
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-42s %-28s %-5s %-6s %-10s %s\n", "Location/Type", "Instance", "HTTP", "HTTPS", "Infected", "Comment")
@@ -63,18 +67,21 @@ type TableVRow struct {
 	Requirements string
 }
 
+// tableVRun describes one catalogued attack execution.
+type tableVRun struct {
+	attack string
+	app    string // which app hosts the run
+	params string
+	stream string // exfil stream proving success ("" = DOM evidence)
+	setup  string // extra setup keyword
+}
+
 // TableV reproduces the attacks-against-applications evaluation: every
 // catalogued module runs through an infected parasite against its target
 // application, and the row records whether the master received the
-// expected loot.
-func TableV() (*Result, error) {
-	runs := []struct {
-		attack string
-		app    string // which app hosts the run
-		params string
-		stream string // exfil stream proving success ("" = DOM evidence)
-		setup  string // extra setup keyword
-	}{
+// expected loot. Every attack is one independent scenario job.
+func TableV(r *runner.Runner) (*Result, error) {
+	runs := []tableVRun{
 		{"steal-login", "bank", "", "creds", "submit-login"},
 		{"browser-data", "chat", "", "browser-data", "seed-storage"},
 		{"personal-data", "chat", "microphone", "sensor-microphone", "grant-permission"},
@@ -93,20 +100,22 @@ func TableV() (*Result, error) {
 		{"attack-internal", "chat", "router.local,printer.local", "internal-hosts", "internal-devices"},
 		{"ddos-internal", "chat", "iot-cam.local|10", "internal-ddos-report", "internal-devices"},
 	}
-	var rows []TableVRow
-	for _, run := range runs {
+	rows, err := runner.Map(r, runs, func(_ int, run tableVRun) (TableVRow, error) {
 		atk, ok := attacks.ByName(run.attack)
 		if !ok {
-			return nil, fmt.Errorf("table V: unknown attack %q", run.attack)
+			return TableVRow{}, fmt.Errorf("table V: unknown attack %q", run.attack)
 		}
 		succeeded, evidence, err := runTableVAttack(run.attack, run.app, run.params, run.stream, run.setup)
 		if err != nil {
-			return nil, fmt.Errorf("table V %s: %w", run.attack, err)
+			return TableVRow{}, fmt.Errorf("table V %s: %w", run.attack, err)
 		}
-		rows = append(rows, TableVRow{
+		return TableVRow{
 			Attack: atk, App: run.app, Succeeded: succeeded,
 			Evidence: evidence, Requirements: atk.Requirements,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-4s %-26s %-16s %-8s %-7s %s\n", "CIA", "Attack", "Category", "App", "Result", "Evidence")
