@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short race bench bench-smoke ci
+.PHONY: build vet fmt-check test test-short race bench bench-smoke artifacts ci
 
 ## build: compile every package and command
 build:
@@ -9,6 +9,13 @@ build:
 ## vet: static analysis
 vet:
 	$(GO) vet ./...
+
+## fmt-check: fail if any file needs gofmt
+fmt-check:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 ## test: the tier-1 verify — full suite at full statistical strictness
 test:
@@ -30,9 +37,15 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-## ci: what .github/workflows/ci.yml runs — vet, build, race tests on the
-## short corpora (the full-size crawl would dominate the race run), and a
-## single-iteration benchmark smoke pass
-ci: vet build
+## artifacts: regenerate every artifact (short sizes) as JSON plus the
+## run manifest into dist/ — what CI uploads as the build artifact
+artifacts:
+	$(GO) run ./cmd/experiments -run all -sites 400 -days 20 -payload 8192 -format json -out dist
+
+## ci: what .github/workflows/ci.yml runs — gofmt + vet, build, race tests
+## on the short corpora (the full-size crawl would dominate the race run),
+## a single-iteration benchmark smoke pass, and the artifact regeneration
+ci: fmt-check vet build
 	$(GO) test -short -race ./...
 	$(MAKE) bench-smoke
+	$(MAKE) artifacts

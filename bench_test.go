@@ -1,7 +1,8 @@
 // Package masterparasite's root benchmark harness: one benchmark per
-// table and figure of the paper (regenerating the artefact end to end),
-// the design-choice ablations called out in DESIGN.md §4, and
-// micro-benchmarks of the hot codecs.
+// table and figure of the paper (regenerating the artifact end to end
+// through the internal/artifact registry), the design-choice ablations
+// (reassembly policy, shared-cache isolation), and micro-benchmarks of
+// the hot codecs.
 //
 //	go test -bench=. -benchmem
 package masterparasite
@@ -12,11 +13,12 @@ import (
 	"fmt"
 	"testing"
 
+	"masterparasite/internal/artifact"
 	"masterparasite/internal/attacker"
 	"masterparasite/internal/cnc"
 	"masterparasite/internal/core"
 	"masterparasite/internal/dom"
-	"masterparasite/internal/experiments"
+	_ "masterparasite/internal/experiments" // self-registers the paper's artifacts
 	"masterparasite/internal/httpcache"
 	"masterparasite/internal/httpsim"
 	"masterparasite/internal/parasite"
@@ -31,6 +33,25 @@ import (
 // on: all available cores, matching cmd/experiments' default.
 var benchPool = runner.New(0)
 
+// benchSizes keeps the crawl-backed artifacts tractable per iteration.
+var benchSizes = map[string]int{"sites": 400, "days": 20}
+
+// runArtifact regenerates one registered artifact on the given pool.
+func runArtifact(b *testing.B, pool *runner.Runner, id string, overrides map[string]int) {
+	b.Helper()
+	spec, ok := artifact.Get(id)
+	if !ok {
+		b.Fatalf("artifact %q not registered", id)
+	}
+	env, err := spec.NewEnv(pool, overrides)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := spec.Exec(env); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // --- the scenario-fleet engine: sequential vs parallel ----------------
 
 // benchFleet regenerates the full deterministic artefact set (every
@@ -40,8 +61,9 @@ var benchPool = runner.New(0)
 func benchFleet(b *testing.B, workers int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Deterministic(runner.New(workers), 400, 20); err != nil {
-			b.Fatal(err)
+		pool := runner.New(workers)
+		for _, spec := range artifact.Deterministic() {
+			runArtifact(b, pool, spec.ID, benchSizes)
 		}
 	}
 }
@@ -53,73 +75,55 @@ func BenchmarkFleet_Parallel(b *testing.B)   { benchFleet(b, 0) }
 
 func BenchmarkTableI_CacheEviction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableI(benchPool); err != nil {
-			b.Fatal(err)
-		}
+		runArtifact(b, benchPool, "table1", nil)
 	}
 }
 
 func BenchmarkTableII_TCPInjection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableII(benchPool); err != nil {
-			b.Fatal(err)
-		}
+		runArtifact(b, benchPool, "table2", nil)
 	}
 }
 
 func BenchmarkTableIII_Refresh(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableIII(benchPool); err != nil {
-			b.Fatal(err)
-		}
+		runArtifact(b, benchPool, "table3", nil)
 	}
 }
 
 func BenchmarkTableIV_SharedCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableIV(benchPool); err != nil {
-			b.Fatal(err)
-		}
+		runArtifact(b, benchPool, "table4", nil)
 	}
 }
 
 func BenchmarkTableV_Attacks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableV(benchPool); err != nil {
-			b.Fatal(err)
-		}
+		runArtifact(b, benchPool, "table5", nil)
 	}
 }
 
 func BenchmarkFigure3_Persistency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure3(benchPool, 400, 20); err != nil {
-			b.Fatal(err)
-		}
+		runArtifact(b, benchPool, "fig3", benchSizes)
 	}
 }
 
 func BenchmarkFigure5_CSPSurvey(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure5(benchPool, 2000); err != nil {
-			b.Fatal(err)
-		}
+		runArtifact(b, benchPool, "fig5", map[string]int{"sites": 2000})
 	}
 }
 
 func BenchmarkFigures124_MessageFlows(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.MessageFlows(); err != nil {
-			b.Fatal(err)
-		}
+		runArtifact(b, benchPool, "flows", nil)
 	}
 }
 
 func BenchmarkCountermeasures(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Countermeasures(benchPool); err != nil {
-			b.Fatal(err)
-		}
+		runArtifact(b, benchPool, "countermeasures", nil)
 	}
 }
 
@@ -169,7 +173,7 @@ func BenchmarkCNC_Upstream(b *testing.B) {
 	}
 }
 
-// --- ablations (DESIGN.md §4) ------------------------------------------
+// --- design-choice ablations -------------------------------------------
 
 // killChain runs one full infection and returns whether it succeeded.
 func killChain(b *testing.B, cfg core.Config) bool {

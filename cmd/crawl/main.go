@@ -1,79 +1,87 @@
 // Command crawl runs the persistency crawler and the security-header
-// survey over the synthetic Alexa population (Fig. 3 / Fig. 5 data).
+// survey over the synthetic Alexa population at full measurement scale.
+// Both measurements are the registry artifacts behind Fig. 3 and
+// Fig. 5 — crawl is a thin frontend over the same specs cmd/experiments
+// drives, defaulting to the paper's population size.
 //
 //	crawl -sites 15000 -days 100
-//	crawl -survey-only
+//	crawl -survey-only -format json
+//	crawl -targets
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"masterparasite/internal/artifact"
 	"masterparasite/internal/crawler"
+	_ "masterparasite/internal/experiments" // self-registers the fig3/fig5 artifacts
 	"masterparasite/internal/runner"
 	"masterparasite/internal/webcorpus"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "crawl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("crawl", flag.ContinueOnError)
 	sites := fs.Int("sites", webcorpus.DefaultSites, "population size")
 	days := fs.Int("days", webcorpus.StudyDays, "study duration in days")
-	seed := fs.Int64("seed", 1, "corpus seed")
+	seed := fs.Int("seed", 1, "corpus seed")
+	format := fs.String("format", "text", fmt.Sprintf("output format: %s", strings.Join(artifact.Formats(), ", ")))
 	surveyOnly := fs.Bool("survey-only", false, "only run the header survey")
 	targets := fs.Bool("targets", false, "list per-site infection targets (name-stable scripts)")
 	parallel := fs.Int("parallel", 0, "crawl worker-pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	renderer, err := artifact.RendererFor(*format)
+	if err != nil {
+		return err
+	}
 	pool := runner.New(*parallel)
+	overrides := map[string]int{"sites": *sites, "days": *days, "seed": *seed}
 
-	corpus := webcorpus.Generate(webcorpus.Params{Sites: *sites, Seed: *seed})
-	fmt.Printf("corpus: %d sites (seed %d)\n\n", *sites, *seed)
-
-	survey := crawler.SurveyHeaders(pool, corpus)
-	fmt.Printf("responders:        %d\n", survey.Responders)
-	fmt.Printf("no HTTPS:          %.2f%%\n", survey.NoHTTPSShare)
-	fmt.Printf("vulnerable SSL:    %.2f%%\n", survey.VulnSSLShare)
-	fmt.Printf("no HSTS:           %.2f%% (preloaded: %d, strippable: %.2f%%)\n",
-		survey.NoHSTSShare, survey.PreloadCount, survey.StrippableShare)
-	fmt.Printf("CSP header:        %.2f%% (deprecated: %.1f%%, versions: %v)\n",
-		survey.CSPHeaderShare, survey.DeprecatedShare, survey.VersionCounts)
-	fmt.Printf("connect-src:       %d uses, %d wildcards\n",
-		survey.ConnectSrcUses, survey.ConnectSrcStar)
-	fmt.Printf("shared analytics:  %.1f%%\n\n", crawler.AnalyticsShare(corpus))
-
+	ids := []string{"fig5"}
+	if !*surveyOnly {
+		ids = append(ids, "fig3")
+	}
+	for _, id := range ids {
+		spec, ok := artifact.Get(id)
+		if !ok {
+			return fmt.Errorf("artifact %s not registered", id)
+		}
+		_, rendered, err := artifact.RunRendered(spec, pool, overrides, renderer)
+		if err != nil {
+			return err
+		}
+		if _, err := stdout.Write(rendered); err != nil {
+			return err
+		}
+	}
 	if *surveyOnly {
+		// The survey is everything that was asked for — skip the crawl
+		// AND the targets listing, exactly like the pre-registry CLI.
 		return nil
 	}
 
-	fmt.Printf("running daily crawl over %d days...\n", *days)
-	res := crawler.CrawlPersistency(pool, corpus, *days)
-	fmt.Printf("%-6s %-10s %-18s %-18s\n", "day", "any .js", "persistent(hash)", "persistent(name)")
-	for _, day := range []int{0, 1, 2, 5, 10, 20, 40, 60, 80, *days} {
-		if day > *days {
-			continue
-		}
-		p := res.At(day)
-		fmt.Printf("%-6d %-10.2f %-18.2f %-18.2f\n", p.Day, p.AnyJS, p.PersistentHash, p.PersistentName)
-	}
-
 	if *targets {
+		corpus := webcorpus.Generate(webcorpus.Params{Sites: *sites, Seed: int64(*seed)})
 		sel := crawler.SelectTargets(corpus, *days)
-		fmt.Printf("\nsites with whole-window name-stable scripts: %d\n", len(sel))
+		fmt.Fprintf(stdout, "\nsites with whole-window name-stable scripts: %d\n", len(sel))
 		shown := 0
 		for host, names := range sel {
-			fmt.Printf("  %s: %v\n", host, names)
+			fmt.Fprintf(stdout, "  %s: %v\n", host, names)
 			shown++
 			if shown >= 10 {
-				fmt.Printf("  ... (%d more)\n", len(sel)-shown)
+				fmt.Fprintf(stdout, "  ... (%d more)\n", len(sel)-shown)
 				break
 			}
 		}

@@ -1,80 +1,140 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures
+// through the internal/artifact registry.
 //
 // Usage:
 //
+//	experiments -list
 //	experiments -run all
 //	experiments -run table1,table5,fig3 -sites 15000 -days 100
-//	experiments -run all -parallel 8
+//	experiments -run all -parallel 8 -format json -out dist/
+//	experiments -run all -manifest manifest.json
 //
-// Experiment ids: table1 table2 table3 table4 table5 fig3 fig5 cnc flows
-// countermeasures all
+// The command itself knows no experiment: internal/experiments
+// self-registers one artifact.Spec per table and figure, and this
+// frontend is generic flag parsing plus registry lookup. -list prints
+// the registry; -run selects artifacts by ID (validated up front —
+// unknown, duplicate, or empty IDs abort before anything runs);
+// -format picks a renderer (text, json, csv, md); parameter flags
+// (-sites, -days, -seed, -payload) are generated from the specs'
+// declared params.
 //
-// -parallel N runs each experiment's independent scenarios on an N-way
-// worker pool; the rendered output is byte-identical for every N (the
-// cnc throughput run excepted — it measures wall-clock rates).
+// Every run builds a manifest — artifact IDs, resolved params, base
+// seeds, worker count, and the SHA-256 fingerprint of each rendered
+// artifact. -out DIR writes one file per artifact plus manifest.json
+// into DIR; -manifest PATH writes the manifest alone. Because
+// deterministic artifacts are byte-identical at any -parallel N, two
+// manifests from runs at different worker counts must carry identical
+// fingerprints.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
-	"masterparasite/internal/experiments"
+	"masterparasite/internal/artifact"
+	_ "masterparasite/internal/experiments" // self-registers the paper's artifacts
 	"masterparasite/internal/runner"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	runList := fs.String("run", "all", "comma-separated experiment ids, or 'all'")
-	sites := fs.Int("sites", 3000, "corpus size for fig3/fig5 (paper: 15000)")
-	days := fs.Int("days", 100, "study length in days for fig3")
-	payload := fs.Int("payload", 64*1024, "C&C payload bytes for the throughput run")
+	list := fs.Bool("list", false, "list registered artifacts and exit")
+	runList := fs.String("run", "all", "comma-separated artifact ids, or 'all'")
+	format := fs.String("format", "text", fmt.Sprintf("output format: %s", strings.Join(artifact.Formats(), ", ")))
 	parallel := fs.Int("parallel", 0, "scenario worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+	outDir := fs.String("out", "", "write one file per artifact plus manifest.json into this directory instead of stdout")
+	manifestPath := fs.String("manifest", "", "also write the run manifest to this path")
+
+	// One flag per parameter declared by any registered spec.
+	paramFlags := make(map[string]*int)
+	for _, p := range artifact.ParamFlags() {
+		paramFlags[p.Name] = fs.Int(p.Name, p.Default, p.Usage)
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	if *list {
+		return printList(stdout)
+	}
+	renderer, err := artifact.RendererFor(*format)
+	if err != nil {
+		return err
+	}
+	ids, err := artifact.ResolveIDs(*runList)
+	if err != nil {
+		return err
+	}
+	overrides := make(map[string]int, len(paramFlags))
+	for name, v := range paramFlags {
+		overrides[name] = *v
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
 	pool := runner.New(*parallel)
-
-	registry := map[string]func() (*experiments.Result, error){
-		"table1":          func() (*experiments.Result, error) { return experiments.TableI(pool) },
-		"table2":          func() (*experiments.Result, error) { return experiments.TableII(pool) },
-		"table3":          func() (*experiments.Result, error) { return experiments.TableIII(pool) },
-		"table4":          func() (*experiments.Result, error) { return experiments.TableIV(pool) },
-		"table5":          func() (*experiments.Result, error) { return experiments.TableV(pool) },
-		"fig3":            func() (*experiments.Result, error) { return experiments.Figure3(pool, *sites, *days) },
-		"fig5":            func() (*experiments.Result, error) { return experiments.Figure5(pool, *sites) },
-		"cnc":             func() (*experiments.Result, error) { return experiments.CNCThroughput(*payload) },
-		"flows":           experiments.MessageFlows,
-		"countermeasures": func() (*experiments.Result, error) { return experiments.Countermeasures(pool) },
-	}
-	order := []string{"table1", "table2", "table3", "table4", "table5",
-		"fig3", "fig5", "cnc", "flows", "countermeasures"}
-
-	var ids []string
-	if *runList == "all" {
-		ids = order
-	} else {
-		ids = strings.Split(*runList, ",")
-	}
+	manifest := artifact.NewManifest(renderer.Format(), pool.Workers())
 	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		fn, ok := registry[id]
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(order, " "))
-		}
-		res, err := fn()
+		spec, _ := artifact.Get(id) // ResolveIDs validated existence
+		res, rendered, err := artifact.RunRendered(spec, pool, overrides, renderer)
 		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+			return err
 		}
-		fmt.Printf("== %s ==\n%s\n", res.Title, res.Text)
+		if *outDir != "" {
+			name := filepath.Join(*outDir, id+"."+renderer.Ext())
+			if err := os.WriteFile(name, rendered, 0o644); err != nil {
+				return err
+			}
+		} else if _, err := stdout.Write(rendered); err != nil {
+			return err
+		}
+		manifest.Add(spec, res, rendered)
+	}
+
+	if *outDir != "" {
+		if err := manifest.WriteFile(filepath.Join(*outDir, "manifest.json")); err != nil {
+			return err
+		}
+	}
+	if *manifestPath != "" {
+		if err := manifest.WriteFile(*manifestPath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printList renders the registry: one line per artifact with its
+// section, determinism, params, and title.
+func printList(w io.Writer) error {
+	fmt.Fprintf(w, "%-16s %-12s %-5s %-28s %s\n", "ID", "SECTION", "DET", "PARAMS", "TITLE")
+	for _, s := range artifact.All() {
+		var params []string
+		for _, p := range s.Params {
+			params = append(params, fmt.Sprintf("%s=%d", p.Name, p.Default))
+		}
+		det := "yes"
+		if !s.Deterministic {
+			det = "no"
+		}
+		if _, err := fmt.Fprintf(w, "%-16s %-12s %-5s %-28s %s\n",
+			s.ID, s.Section, det, strings.Join(params, ","), s.Title); err != nil {
+			return err
+		}
 	}
 	return nil
 }

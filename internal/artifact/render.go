@@ -1,0 +1,125 @@
+package artifact
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Renderer turns one Result into bytes on a sink. Renderers are
+// stateless; the same Result renders identically every time, which is
+// what makes manifest fingerprints meaningful.
+type Renderer interface {
+	// Format is the renderer's registry key ("text", "json", ...).
+	Format() string
+	// Ext is the file extension used by directory output.
+	Ext() string
+	Render(w io.Writer, res *Result) error
+}
+
+// Formats lists the supported renderer formats.
+func Formats() []string { return []string{"text", "json", "csv", "md"} }
+
+// RendererFor selects a renderer by format name.
+func RendererFor(format string) (Renderer, error) {
+	switch format {
+	case "text", "":
+		return textRenderer{}, nil
+	case "json":
+		return jsonRenderer{}, nil
+	case "csv":
+		return csvRenderer{}, nil
+	case "md", "markdown":
+		return markdownRenderer{}, nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (known: %s)", format, strings.Join(Formats(), " "))
+	}
+}
+
+// textRenderer emits the canonical human rendering — byte-identical to
+// the pre-registry CLI output (asserted by the golden test).
+type textRenderer struct{}
+
+func (textRenderer) Format() string { return "text" }
+func (textRenderer) Ext() string    { return "txt" }
+func (textRenderer) Render(w io.Writer, res *Result) error {
+	_, err := fmt.Fprintf(w, "== %s ==\n%s\n", res.Title, res.Text)
+	return err
+}
+
+// jsonRenderer emits the full Result — identity, params, and the typed
+// dataset — as one indented JSON document.
+type jsonRenderer struct{}
+
+func (jsonRenderer) Format() string { return "json" }
+func (jsonRenderer) Ext() string    { return "json" }
+func (jsonRenderer) Render(w io.Writer, res *Result) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("render %s: %w", res.ID, err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// csvRenderer emits the dataset's tabular form, header first.
+type csvRenderer struct{}
+
+func (csvRenderer) Format() string { return "csv" }
+func (csvRenderer) Ext() string    { return "csv" }
+func (csvRenderer) Render(w io.Writer, res *Result) error {
+	header, rows := res.Dataset.Table()
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("render %s: row width %d != header width %d", res.ID, len(row), len(header))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// markdownRenderer emits a titled pipe table.
+type markdownRenderer struct{}
+
+func (markdownRenderer) Format() string { return "md" }
+func (markdownRenderer) Ext() string    { return "md" }
+func (markdownRenderer) Render(w io.Writer, res *Result) error {
+	header, rows := res.Dataset.Table()
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n\n", res.Title)
+	writeMDRow(&b, header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeMDRow(&b, sep)
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("render %s: row width %d != header width %d", res.ID, len(row), len(header))
+		}
+		writeMDRow(&b, row)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeMDRow(b *strings.Builder, cells []string) {
+	b.WriteString("|")
+	for _, c := range cells {
+		c = strings.ReplaceAll(c, "|", "\\|")
+		c = strings.ReplaceAll(c, "\n", " ")
+		b.WriteString(" " + c + " |")
+	}
+	b.WriteString("\n")
+}

@@ -16,6 +16,8 @@
 package crawler
 
 import (
+	"sort"
+	"strconv"
 	"strings"
 
 	"masterparasite/internal/browser"
@@ -26,22 +28,22 @@ import (
 
 // PersistencyPoint is one measurement day of Fig. 3.
 type PersistencyPoint struct {
-	Day int
+	Day int `json:"day"`
 	// AnyJS is the share of sites serving at least one external script.
-	AnyJS float64
+	AnyJS float64 `json:"any_js"`
 	// PersistentName is the share of sites with at least one script whose
 	// *name* has survived since day 0 — the attacker-relevant identity,
 	// because caches key by name.
-	PersistentName float64
+	PersistentName float64 `json:"persistent_name"`
 	// PersistentHash is the share with at least one script unchanged in
 	// *content* since day 0.
-	PersistentHash float64
+	PersistentHash float64 `json:"persistent_hash"`
 }
 
 // PersistencyResult is the Fig. 3 dataset.
 type PersistencyResult struct {
-	Sites  int
-	Points []PersistencyPoint
+	Sites  int                `json:"sites"`
+	Points []PersistencyPoint `json:"points"`
 }
 
 // At returns the point for a day (or the last one before it).
@@ -53,6 +55,17 @@ func (r *PersistencyResult) At(day int) PersistencyPoint {
 		}
 	}
 	return out
+}
+
+// Table flattens the dataset — one row per measurement day — for the
+// CSV and Markdown artifact renderers.
+func (r *PersistencyResult) Table() (header []string, rows [][]string) {
+	header = []string{"day", "any_js", "persistent_hash", "persistent_name"}
+	pct := func(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+	for _, p := range r.Points {
+		rows = append(rows, []string{strconv.Itoa(p.Day), pct(p.AnyJS), pct(p.PersistentHash), pct(p.PersistentName)})
+	}
+	return header, rows
 }
 
 // scriptObs is what the crawler extracts from one page: script names and
@@ -200,26 +213,64 @@ func SelectTargets(c *webcorpus.Corpus, window int) map[string][]string {
 
 // HeaderSurvey is the Fig. 5 + §V dataset.
 type HeaderSurvey struct {
-	Sites      int
-	Responders int
+	Sites      int `json:"sites"`
+	Responders int `json:"responders"`
 
 	// §V Discussion (100K-top measurement, same shares).
-	NoHTTPSShare float64 // % of sites with no HTTPS at all
-	VulnSSLShare float64 // % with SSL2.0/SSL3.0
+	NoHTTPSShare float64 `json:"no_https_share"` // % of sites with no HTTPS at all
+	VulnSSLShare float64 `json:"vuln_ssl_share"` // % with SSL2.0/SSL3.0
 
 	// §V HSTS measurement (of responders).
-	NoHSTSCount     int
-	NoHSTSShare     float64
-	PreloadCount    int
-	StrippableShare float64 // responders not preloaded: SSL-strippable
+	NoHSTSCount     int     `json:"no_hsts_count"`
+	NoHSTSShare     float64 `json:"no_hsts_share"`
+	PreloadCount    int     `json:"preload_count"`
+	StrippableShare float64 `json:"strippable_share"` // responders not preloaded: SSL-strippable
 
 	// Fig. 5 CSP statistics.
-	CSPHeaderShare  float64 // % of pages supplying any CSP header
-	CSPRulesShare   float64 // % supplying actual rules
-	DeprecatedShare float64 // % of CSP pages on deprecated headers
-	VersionCounts   map[string]int
-	ConnectSrcUses  int
-	ConnectSrcStar  int
+	CSPHeaderShare  float64        `json:"csp_header_share"` // % of pages supplying any CSP header
+	CSPRulesShare   float64        `json:"csp_rules_share"`  // % supplying actual rules
+	DeprecatedShare float64        `json:"deprecated_share"` // % of CSP pages on deprecated headers
+	VersionCounts   map[string]int `json:"version_counts"`
+	ConnectSrcUses  int            `json:"connect_src_uses"`
+	ConnectSrcStar  int            `json:"connect_src_star"`
+
+	// AnalyticsShare is the §VI-B1 shared-file statistic (% of sites
+	// embedding the shared analytics script), folded into the survey
+	// dataset by the fig5 artifact.
+	AnalyticsShare float64 `json:"analytics_share"`
+}
+
+// Table flattens the survey into metric/value rows for the CSV and
+// Markdown artifact renderers.
+func (s *HeaderSurvey) Table() (header []string, rows [][]string) {
+	header = []string{"metric", "value"}
+	num := func(v int) string { return strconv.Itoa(v) }
+	pct := func(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+	rows = [][]string{
+		{"sites", num(s.Sites)},
+		{"responders", num(s.Responders)},
+		{"no_https_share", pct(s.NoHTTPSShare)},
+		{"vuln_ssl_share", pct(s.VulnSSLShare)},
+		{"no_hsts_count", num(s.NoHSTSCount)},
+		{"no_hsts_share", pct(s.NoHSTSShare)},
+		{"preload_count", num(s.PreloadCount)},
+		{"strippable_share", pct(s.StrippableShare)},
+		{"csp_header_share", pct(s.CSPHeaderShare)},
+		{"csp_rules_share", pct(s.CSPRulesShare)},
+		{"deprecated_share", pct(s.DeprecatedShare)},
+		{"connect_src_uses", num(s.ConnectSrcUses)},
+		{"connect_src_star", num(s.ConnectSrcStar)},
+		{"analytics_share", pct(s.AnalyticsShare)},
+	}
+	versions := make([]string, 0, len(s.VersionCounts))
+	for v := range s.VersionCounts {
+		versions = append(versions, v)
+	}
+	sort.Strings(versions)
+	for _, v := range versions {
+		rows = append(rows, []string{"version:" + v, num(s.VersionCounts[v])})
+	}
+	return header, rows
 }
 
 // siteObs is one site's contribution to the header survey, produced by

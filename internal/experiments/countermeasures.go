@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"masterparasite/internal/artifact"
 	"masterparasite/internal/attacker"
 	"masterparasite/internal/browser"
 	"masterparasite/internal/core"
@@ -15,23 +16,36 @@ import (
 
 // CountermeasureRow is one §VIII defence evaluated against the kill chain.
 type CountermeasureRow struct {
-	Defence string
+	Defence string `json:"defence"`
 	// Infected: did the initial injection deliver the parasite?
-	Infected bool
+	Infected bool `json:"infected"`
 	// Persisted: did the parasite survive leaving the attacker network?
-	Persisted bool
+	Persisted bool `json:"persisted"`
 	// Propagated: how many origins ended up infected (1 = contained).
-	Propagated int
+	Propagated int `json:"propagated"`
 	// CNCWorked: did a queued command execute and exfiltrate?
-	CNCWorked bool
-	Note      string
+	CNCWorked bool   `json:"cnc_worked"`
+	Note      string `json:"note"`
+}
+
+// CountermeasuresData is the §VIII dataset.
+type CountermeasuresData []CountermeasureRow
+
+// Table flattens the dataset for the CSV and Markdown renderers.
+func (d CountermeasuresData) Table() (header []string, rows [][]string) {
+	header = []string{"defence", "infected", "persisted", "propagated", "cnc_worked", "note"}
+	for _, r := range d {
+		rows = append(rows, []string{r.Defence, fbool(r.Infected), fbool(r.Persisted),
+			fint(r.Propagated), fbool(r.CNCWorked), r.Note})
+	}
+	return header, rows
 }
 
 // Countermeasures reproduces §VIII: each recommended defence (plus the
 // TCP-reassembly ablation) runs against the full kill chain, and the row
 // records which stages it stops. Every defence variant is one
 // independent scenario job.
-func Countermeasures(r *runner.Runner) (*Result, error) {
+func Countermeasures(env artifact.Env) (*artifact.Result, error) {
 	type variant struct {
 		name string
 		cfg  core.Config
@@ -73,7 +87,7 @@ func Countermeasures(r *runner.Runner) (*Result, error) {
 		},
 	}
 
-	rows, err := runner.Map(r, variants, func(_ int, v variant) (CountermeasureRow, error) {
+	rows, err := runner.Map(env.Runner, variants, func(_ int, v variant) (CountermeasureRow, error) {
 		row, err := runCountermeasure(v.cfg, v.prep)
 		if err != nil {
 			return row, fmt.Errorf("countermeasure %q: %w", v.name, err)
@@ -91,7 +105,7 @@ func Countermeasures(r *runner.Runner) (*Result, error) {
 		fmt.Fprintf(&b, "%-32s %-9s %-10s %-11d %-5s %s\n",
 			r.Defence, mark(r.Infected), mark(r.Persisted), r.Propagated, mark(r.CNCWorked), r.Note)
 	}
-	return &Result{ID: "countermeasures", Title: "§VIII: countermeasures vs the kill chain", Text: b.String(), Data: rows}, nil
+	return &artifact.Result{Text: b.String(), Dataset: CountermeasuresData(rows)}, nil
 }
 
 func partitionedChrome() *browser.Profile {

@@ -1,8 +1,15 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation. Each experiment runs the real attack code paths against the
-// simulated substrate and renders rows comparable to the published
-// artefact. See DESIGN.md §3 for the per-experiment index and
-// EXPERIMENTS.md for paper-vs-measured results.
+// evaluation. Each experiment runs the real attack code paths against
+// the simulated substrate and renders rows comparable to the published
+// artefact.
+//
+// Every experiment is registered as an artifact.Spec in the
+// internal/artifact registry (see specs.go for the index and the
+// README's "Artifacts, formats, and the run manifest" section for the
+// frontend contract): a stable ID, typed params with defaults and
+// validation, and a typed, JSON-marshalable dataset behind the
+// canonical text rendering. Frontends drive experiments exclusively
+// through the registry.
 //
 // Every experiment is expressed as a batch of independent jobs — one
 // scenario per table row, cell, or variant — submitted to a
@@ -14,8 +21,10 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
+	"masterparasite/internal/artifact"
 	"masterparasite/internal/attacker"
 	"masterparasite/internal/browser"
 	"masterparasite/internal/core"
@@ -26,20 +35,15 @@ import (
 	"masterparasite/internal/script"
 )
 
-// Result is one regenerated artefact.
-type Result struct {
-	ID    string // "table1" ... "fig5", "cnc", "flows"
-	Title string
-	Text  string // rendered rows
-	Data  any    // typed dataset for programmatic use
-}
-
 func mark(ok bool) string {
 	if ok {
 		return "✓"
 	}
 	return "×"
 }
+
+func fbool(v bool) string { return strconv.FormatBool(v) }
+func fint(v int) string   { return strconv.Itoa(v) }
 
 // scaleProfile shrinks a browser profile's cache so the eviction flood is
 // tractable: the paper floods hundreds of MiB; we keep the byte *ratio*
@@ -55,13 +59,26 @@ func scaleProfile(p browser.Profile) browser.Profile {
 
 // TableIRow is one row of the eviction evaluation.
 type TableIRow struct {
-	Browser     string
-	Version     string
-	Eviction    bool
-	InterDomain bool
-	SizeNote    string
-	Remark      string
-	OOMKilled   bool
+	Browser     string `json:"browser"`
+	Version     string `json:"version"`
+	Eviction    bool   `json:"eviction"`
+	InterDomain bool   `json:"inter_domain"`
+	SizeNote    string `json:"size_note"`
+	Remark      string `json:"remark"`
+	OOMKilled   bool   `json:"oom_killed"`
+}
+
+// TableIData is the Table I dataset.
+type TableIData []TableIRow
+
+// Table flattens the dataset for the CSV and Markdown renderers.
+func (d TableIData) Table() (header []string, rows [][]string) {
+	header = []string{"browser", "version", "eviction", "inter_domain", "size_note", "remark", "oom_killed"}
+	for _, r := range d {
+		rows = append(rows, []string{r.Browser, r.Version, fbool(r.Eviction),
+			fbool(r.InterDomain), r.SizeNote, r.Remark, fbool(r.OOMKilled)})
+	}
+	return header, rows
 }
 
 // TableI reproduces the cache-eviction evaluation: for every browser
@@ -69,8 +86,8 @@ type TableIRow struct {
 // Fig. 1 eviction flood through the full network path, and observe
 // whether the victims' objects were supplanted (and whether the browser
 // survived). Each profile is one independent scenario job.
-func TableI(r *runner.Runner) (*Result, error) {
-	rows, err := runner.Map(r, browser.TableIProfiles(), func(_ int, p browser.Profile) (TableIRow, error) {
+func TableI(env artifact.Env) (*artifact.Result, error) {
+	rows, err := runner.Map(env.Runner, browser.TableIProfiles(), func(_ int, p browser.Profile) (TableIRow, error) {
 		return tableIRow(p)
 	})
 	if err != nil {
@@ -82,7 +99,7 @@ func TableI(r *runner.Runner) (*Result, error) {
 		fmt.Fprintf(&b, "%-9s %-17s %-3s %-4s %-9s %s\n",
 			r.Browser, r.Version, mark(r.Eviction), mark(r.InterDomain), r.SizeNote, r.Remark)
 	}
-	return &Result{ID: "table1", Title: "Table I: cache eviction on popular browsers", Text: b.String(), Data: rows}, nil
+	return &artifact.Result{Text: b.String(), Dataset: TableIData(rows)}, nil
 }
 
 // tableIRow runs the eviction evaluation for one browser profile in a
@@ -132,17 +149,29 @@ func tableIRow(p browser.Profile) (TableIRow, error) {
 
 // TableIICell is one OS×browser injection outcome.
 type TableIICell struct {
-	OS       browser.OS
-	Browser  string
-	Exists   bool // n/a when false
-	Injected bool
+	OS       browser.OS `json:"os"`
+	Browser  string     `json:"browser"`
+	Exists   bool       `json:"exists"` // n/a when false
+	Injected bool       `json:"injected"`
+}
+
+// TableIIData is the Table II dataset.
+type TableIIData []TableIICell
+
+// Table flattens the dataset for the CSV and Markdown renderers.
+func (d TableIIData) Table() (header []string, rows [][]string) {
+	header = []string{"os", "browser", "exists", "injected"}
+	for _, c := range d {
+		rows = append(rows, []string{string(c.OS), c.Browser, fbool(c.Exists), fbool(c.Injected)})
+	}
+	return header, rows
 }
 
 // TableII reproduces the TCP-injection evaluation across every existing
 // OS × browser pair: set up the WiFi victim, arm the infection module,
 // visit the target site and check whether the parasite landed in cache.
 // Every OS × browser pair is one independent scenario job.
-func TableII(r *runner.Runner) (*Result, error) {
+func TableII(env artifact.Env) (*artifact.Result, error) {
 	type pair struct {
 		os browser.OS
 		p  browser.Profile
@@ -153,7 +182,7 @@ func TableII(r *runner.Runner) (*Result, error) {
 			pairs = append(pairs, pair{os: os, p: p})
 		}
 	}
-	cells, err := runner.Map(r, pairs, func(_ int, pr pair) (TableIICell, error) {
+	cells, err := runner.Map(env.Runner, pairs, func(_ int, pr pair) (TableIICell, error) {
 		cell := TableIICell{OS: pr.os, Browser: pr.p.Name, Exists: pr.p.RunsOn(pr.os)}
 		if cell.Exists {
 			ok, err := injectionSucceeds(pr.p, pr.os)
@@ -188,7 +217,7 @@ func TableII(r *runner.Runner) (*Result, error) {
 		}
 		b.WriteString("\n")
 	}
-	return &Result{ID: "table2", Title: "Table II: TCP injection across OS and browsers", Text: b.String(), Data: cells}, nil
+	return &artifact.Result{Text: b.String(), Dataset: TableIIData(cells)}, nil
 }
 
 func injectionSucceeds(p browser.Profile, os browser.OS) (bool, error) {
@@ -221,18 +250,31 @@ func injectionSucceeds(p browser.Profile, os browser.OS) (bool, error) {
 
 // TableIIIRow is one refresh-method evaluation row.
 type TableIIIRow struct {
-	Browser           string
-	SupportsCacheAPI  bool
-	CtrlF5Removes     bool
-	ClearCacheRemoves bool
-	CookiesRemoves    bool
+	Browser           string `json:"browser"`
+	SupportsCacheAPI  bool   `json:"supports_cache_api"`
+	CtrlF5Removes     bool   `json:"ctrl_f5_removes"`
+	ClearCacheRemoves bool   `json:"clear_cache_removes"`
+	CookiesRemoves    bool   `json:"cookies_removes"`
+}
+
+// TableIIIData is the Table III dataset.
+type TableIIIData []TableIIIRow
+
+// Table flattens the dataset for the CSV and Markdown renderers.
+func (d TableIIIData) Table() (header []string, rows [][]string) {
+	header = []string{"browser", "supports_cache_api", "ctrl_f5_removes", "clear_cache_removes", "cookies_removes"}
+	for _, r := range d {
+		rows = append(rows, []string{r.Browser, fbool(r.SupportsCacheAPI),
+			fbool(r.CtrlF5Removes), fbool(r.ClearCacheRemoves), fbool(r.CookiesRemoves)})
+	}
+	return header, rows
 }
 
 // TableIII reproduces the refresh-method evaluation: a parasite anchored
 // in the Cache API must survive Ctrl+F5 and cache clearing, and fall only
 // to cookie (site-data) clearing. Every (browser, method) combination is
 // one independent scenario job; rows are folded back in profile order.
-func TableIII(r *runner.Runner) (*Result, error) {
+func TableIII(env artifact.Env) (*artifact.Result, error) {
 	var profiles []browser.Profile
 	for _, p := range browser.TableIProfiles() {
 		if p.Incognito {
@@ -259,7 +301,7 @@ func TableIII(r *runner.Runner) (*Result, error) {
 			jobs = append(jobs, job{p: p, method: m})
 		}
 	}
-	verdicts, err := runner.Map(r, jobs, func(_ int, j job) (verdict, error) {
+	verdicts, err := runner.Map(env.Runner, jobs, func(_ int, j job) (verdict, error) {
 		ok, err := refreshRemovesParasite(j.p, j.method)
 		if err != nil {
 			return verdict{}, fmt.Errorf("table III %s %s: %w", j.p.Name, j.method, err)
@@ -297,7 +339,7 @@ func TableIII(r *runner.Runner) (*Result, error) {
 		fmt.Fprintf(&b, "%-9s %-8s %-12s %-13s\n", r.Browser,
 			mark(r.CtrlF5Removes), mark(r.ClearCacheRemoves), mark(r.CookiesRemoves))
 	}
-	return &Result{ID: "table3", Title: "Table III: refresh methods vs Cache-API parasites", Text: b.String(), Data: rows}, nil
+	return &artifact.Result{Text: b.String(), Dataset: TableIIIData(rows)}, nil
 }
 
 func refreshRemovesParasite(p browser.Profile, method string) (bool, error) {

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
+	"masterparasite/internal/artifact"
 	"masterparasite/internal/browser"
 	"masterparasite/internal/crawler"
 	"masterparasite/internal/runner"
@@ -13,12 +17,71 @@ import (
 // available cores; results are deterministic at any worker count.
 func testRunner() *runner.Runner { return runner.New(0) }
 
-func TestTableIMatchesPaperShape(t *testing.T) {
-	r, err := TableI(testRunner())
+// runArtifact executes one registered artifact with the given param
+// overrides and asserts the registry contract on the way: identity is
+// stamped, and the typed dataset survives a JSON round trip.
+func runArtifact(t *testing.T, id string, overrides map[string]int) *artifact.Result {
+	t.Helper()
+	spec, ok := artifact.Get(id)
+	if !ok {
+		t.Fatalf("artifact %q not registered", id)
+	}
+	env, err := spec.NewEnv(testRunner(), overrides)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, ok := r.Data.([]TableIRow)
+	res, err := spec.Exec(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != id || res.Title != spec.Title || res.Dataset == nil {
+		t.Fatalf("identity not stamped: %+v", res)
+	}
+	assertDatasetRoundTrips(t, res)
+	return res
+}
+
+// assertDatasetRoundTrips marshals the typed dataset, unmarshals it
+// into a fresh instance of the same concrete type, and re-marshals —
+// the `-format json` output must round-trip losslessly.
+func assertDatasetRoundTrips(t *testing.T, res *artifact.Result) {
+	t.Helper()
+	first, err := json.Marshal(res.Dataset)
+	if err != nil {
+		t.Fatalf("%s: dataset does not marshal: %v", res.ID, err)
+	}
+	fresh := reflect.New(reflect.TypeOf(res.Dataset))
+	if err := json.Unmarshal(first, fresh.Interface()); err != nil {
+		t.Fatalf("%s: dataset does not unmarshal into %T: %v", res.ID, res.Dataset, err)
+	}
+	second, err := json.Marshal(fresh.Elem().Interface())
+	if err != nil {
+		t.Fatalf("%s: re-marshal: %v", res.ID, err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("%s: dataset JSON round trip lossy:\nfirst:  %.200s\nsecond: %.200s", res.ID, first, second)
+	}
+}
+
+func TestRegistryListsAllArtifacts(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "table4", "table5",
+		"fig3", "fig5", "cnc", "flows", "countermeasures"}
+	got := artifact.IDs()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("registry order = %v, want %v", got, want)
+	}
+	var det []string
+	for _, s := range artifact.Deterministic() {
+		det = append(det, s.ID)
+	}
+	if len(det) != 9 {
+		t.Fatalf("deterministic artifacts = %v; only cnc measures wall-clock", det)
+	}
+}
+
+func TestTableIMatchesPaperShape(t *testing.T) {
+	r := runArtifact(t, "table1", nil)
+	rows, ok := r.Dataset.(TableIData)
 	if !ok || len(rows) != 6 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -36,11 +99,8 @@ func TestTableIMatchesPaperShape(t *testing.T) {
 }
 
 func TestTableIIMatchesPaperShape(t *testing.T) {
-	r, err := TableII(testRunner())
-	if err != nil {
-		t.Fatal(err)
-	}
-	cells, ok := r.Data.([]TableIICell)
+	r := runArtifact(t, "table2", nil)
+	cells, ok := r.Dataset.(TableIIData)
 	if !ok || len(cells) != 30 {
 		t.Fatalf("cells = %d, want 5 OSes × 6 browsers", len(cells))
 	}
@@ -61,11 +121,8 @@ func TestTableIIMatchesPaperShape(t *testing.T) {
 }
 
 func TestTableIIIMatchesPaper(t *testing.T) {
-	r, err := TableIII(testRunner())
-	if err != nil {
-		t.Fatal(err)
-	}
-	rows, ok := r.Data.([]TableIIIRow)
+	r := runArtifact(t, "table3", nil)
+	rows, ok := r.Dataset.(TableIIIData)
 	if !ok || len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -86,11 +143,8 @@ func TestTableIIIMatchesPaper(t *testing.T) {
 }
 
 func TestTableIVFunctionalInfection(t *testing.T) {
-	r, err := TableIV(testRunner())
-	if err != nil {
-		t.Fatal(err)
-	}
-	rows, ok := r.Data.([]TableIVRow)
+	r := runArtifact(t, "table4", nil)
+	rows, ok := r.Dataset.(TableIVData)
 	if !ok || len(rows) != 23 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -111,29 +165,23 @@ func TestTableIVFunctionalInfection(t *testing.T) {
 }
 
 func TestTableVAllAttacksSucceed(t *testing.T) {
-	r, err := TableV(testRunner())
-	if err != nil {
-		t.Fatal(err)
-	}
-	rows, ok := r.Data.([]TableVRow)
+	r := runArtifact(t, "table5", nil)
+	rows, ok := r.Dataset.(TableVData)
 	if !ok || len(rows) != 17 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	for _, row := range rows {
 		if !row.Succeeded {
-			t.Errorf("%s failed: %s", row.Attack.Name, row.Evidence)
+			t.Errorf("%s failed: %s", row.Attack, row.Evidence)
 		}
 	}
 }
 
 func TestFigure3SmallRun(t *testing.T) {
-	r, err := Figure3(testRunner(), 400, 20)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, ok := r.Data.(*crawler.PersistencyResult)
+	r := runArtifact(t, "fig3", map[string]int{"sites": 400, "days": 20})
+	res, ok := r.Dataset.(*crawler.PersistencyResult)
 	if !ok {
-		t.Fatal("wrong data type")
+		t.Fatal("wrong dataset type")
 	}
 	p0, p20 := res.At(0), res.At(20)
 	if p0.PersistentName < p20.PersistentName {
@@ -142,19 +190,22 @@ func TestFigure3SmallRun(t *testing.T) {
 	if !strings.Contains(r.Text, "persistent(name)") {
 		t.Fatal("rendering incomplete")
 	}
+	if r.Params["sites"] != 400 || r.Params["days"] != 20 || r.Params["seed"] != 1 {
+		t.Fatalf("resolved params = %v", r.Params)
+	}
 }
 
 func TestFigure5SmallRun(t *testing.T) {
-	r, err := Figure5(testRunner(), 2000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s, ok := r.Data.(*crawler.HeaderSurvey)
+	r := runArtifact(t, "fig5", map[string]int{"sites": 2000})
+	s, ok := r.Dataset.(*crawler.HeaderSurvey)
 	if !ok {
-		t.Fatal("wrong data type")
+		t.Fatal("wrong dataset type")
 	}
 	if s.NoHTTPSShare < 15 || s.NoHTTPSShare > 27 {
 		t.Fatalf("no-HTTPS share = %.1f", s.NoHTTPSShare)
+	}
+	if s.AnalyticsShare <= 0 {
+		t.Fatalf("analytics share missing from the dataset: %.1f", s.AnalyticsShare)
 	}
 	if !strings.Contains(r.Text, "connect-src") {
 		t.Fatal("rendering incomplete")
@@ -162,13 +213,10 @@ func TestFigure5SmallRun(t *testing.T) {
 }
 
 func TestCNCThroughputShape(t *testing.T) {
-	r, err := CNCThroughput(8 * 1024)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rep, ok := r.Data.(CNCReport)
+	r := runArtifact(t, "cnc", map[string]int{"payload": 8 * 1024})
+	rep, ok := r.Dataset.(CNCReport)
 	if !ok {
-		t.Fatal("wrong data type")
+		t.Fatal("wrong dataset type")
 	}
 	if rep.DownstreamLoopback <= 0 || rep.DownstreamRTTConc <= 0 ||
 		rep.DownstreamRTTSeq <= 0 || rep.UpstreamThroughput <= 0 {
@@ -190,11 +238,8 @@ func TestCNCThroughputShape(t *testing.T) {
 }
 
 func TestCountermeasuresMatrix(t *testing.T) {
-	r, err := Countermeasures(testRunner())
-	if err != nil {
-		t.Fatal(err)
-	}
-	rows, ok := r.Data.([]CountermeasureRow)
+	r := runArtifact(t, "countermeasures", nil)
+	rows, ok := r.Dataset.(CountermeasuresData)
 	if !ok || len(rows) != 7 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -224,10 +269,7 @@ func TestCountermeasuresMatrix(t *testing.T) {
 }
 
 func TestMessageFlowsPhases(t *testing.T) {
-	r, err := MessageFlows()
-	if err != nil {
-		t.Fatal(err)
-	}
+	r := runArtifact(t, "flows", nil)
 	for _, phase := range []string{"Fig. 1", "Fig. 2", "Fig. 4"} {
 		if !strings.Contains(r.Text, phase) {
 			t.Fatalf("missing phase %s", phase)
@@ -237,6 +279,16 @@ func TestMessageFlowsPhases(t *testing.T) {
 	fig2 := r.Text[strings.Index(r.Text, "Fig. 2"):]
 	if !strings.Contains(fig2, "attacker-box") {
 		t.Fatal("no attacker frames in the infection flow")
+	}
+	// The dataset mirrors the text: three phases, each with traffic.
+	phases, ok := r.Dataset.(FlowsData)
+	if !ok || len(phases) != 3 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	for _, p := range phases {
+		if len(p.Events) == 0 {
+			t.Fatalf("phase %q traced no frames", p.Name)
+		}
 	}
 }
 

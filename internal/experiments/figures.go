@@ -4,31 +4,27 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
+	"masterparasite/internal/artifact"
 	"masterparasite/internal/attacker"
 	"masterparasite/internal/cnc"
 	"masterparasite/internal/core"
 	"masterparasite/internal/crawler"
 	"masterparasite/internal/netsim"
 	"masterparasite/internal/parasite"
-	"masterparasite/internal/runner"
 	"masterparasite/internal/webcorpus"
 )
 
 // Figure3 reproduces the persistency measurement: a daily crawl of the
 // synthetic Alexa population, rendered as the three curves of the
 // figure. The crawl fans out per-day jobs on the runner.
-func Figure3(r *runner.Runner, sites, days int) (*Result, error) {
-	if sites <= 0 {
-		sites = 3000
-	}
-	if days <= 0 {
-		days = webcorpus.StudyDays
-	}
-	corpus := webcorpus.Generate(webcorpus.Params{Sites: sites, Seed: 1})
-	res := crawler.CrawlPersistency(r, corpus, days)
+func Figure3(env artifact.Env) (*artifact.Result, error) {
+	sites, days := env.Param("sites"), env.Param("days")
+	corpus := webcorpus.Generate(webcorpus.Params{Sites: sites, Seed: int64(env.Param("seed"))})
+	res := crawler.CrawlPersistency(env.Runner, corpus, days)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "sites crawled: %d, days: %d\n", res.Sites, days)
@@ -43,17 +39,15 @@ func Figure3(r *runner.Runner, sites, days int) (*Result, error) {
 	p5, pEnd := res.At(5), res.At(days)
 	fmt.Fprintf(&b, "\npaper anchors: ≈87.5%% name-persistent @5d (measured %.1f%%), ≈75.3%% @100d (measured %.1f%%)\n",
 		p5.PersistentName, pEnd.PersistentName)
-	return &Result{ID: "fig3", Title: "Figure 3: persistency measurement over 100 days", Text: b.String(), Data: res}, nil
+	return &artifact.Result{Text: b.String(), Dataset: res}, nil
 }
 
 // Figure5 reproduces the CSP statistics plus the §V HSTS/HTTPS survey.
 // The survey fans out per-site jobs on the runner.
-func Figure5(r *runner.Runner, sites int) (*Result, error) {
-	if sites <= 0 {
-		sites = webcorpus.DefaultSites
-	}
-	corpus := webcorpus.Generate(webcorpus.Params{Sites: sites, Seed: 1})
-	s := crawler.SurveyHeaders(r, corpus)
+func Figure5(env artifact.Env) (*artifact.Result, error) {
+	corpus := webcorpus.Generate(webcorpus.Params{Sites: env.Param("sites"), Seed: int64(env.Param("seed"))})
+	s := crawler.SurveyHeaders(env.Runner, corpus)
+	s.AnalyticsShare = crawler.AnalyticsShare(corpus)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "population: %d sites, %d responders\n\n", s.Sites, s.Responders)
@@ -72,19 +66,35 @@ func Figure5(r *runner.Runner, sites int) (*Result, error) {
 	fmt.Fprintf(&b, "  connect-src uses: %d (wildcard: %d — paper: 160 uses, 17 wildcards)\n",
 		s.ConnectSrcUses, s.ConnectSrcStar)
 	fmt.Fprintf(&b, "§VI-B1 shared analytics script: %.1f%% of sites (paper: 63%%)\n",
-		crawler.AnalyticsShare(corpus))
-	return &Result{ID: "fig5", Title: "Figure 5 + §V: security header survey", Text: b.String(), Data: s}, nil
+		s.AnalyticsShare)
+	return &artifact.Result{Text: b.String(), Dataset: s}, nil
 }
 
 // CNCReport is the §VI-C throughput measurement.
 type CNCReport struct {
-	PayloadBytes        int
-	DownstreamLoopback  float64 // B/s, 16-way concurrent, zero RTT
-	DownstreamRTTConc   float64 // B/s, 16-way concurrent, 1 ms simulated RTT
-	DownstreamRTTSeq    float64 // B/s, sequential, 1 ms simulated RTT
-	UpstreamThroughput  float64 // B/s
-	BytesPerImage       int
-	OverheadBytesPerImg int
+	PayloadBytes        int     `json:"payload_bytes"`
+	DownstreamLoopback  float64 `json:"downstream_loopback_bps"`  // B/s, 16-way concurrent, zero RTT
+	DownstreamRTTConc   float64 `json:"downstream_rtt_conc_bps"`  // B/s, 16-way concurrent, 1 ms simulated RTT
+	DownstreamRTTSeq    float64 `json:"downstream_rtt_seq_bps"`   // B/s, sequential, 1 ms simulated RTT
+	UpstreamThroughput  float64 `json:"upstream_bps"`             // B/s
+	BytesPerImage       int     `json:"bytes_per_image"`          // payload bytes per covert image
+	OverheadBytesPerImg int     `json:"overhead_bytes_per_image"` // rendered SVG size
+}
+
+// Table flattens the report into metric/value rows.
+func (r CNCReport) Table() (header []string, rows [][]string) {
+	header = []string{"metric", "value"}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 0, 64) }
+	rows = [][]string{
+		{"payload_bytes", fint(r.PayloadBytes)},
+		{"downstream_loopback_bps", f(r.DownstreamLoopback)},
+		{"downstream_rtt_conc_bps", f(r.DownstreamRTTConc)},
+		{"downstream_rtt_seq_bps", f(r.DownstreamRTTSeq)},
+		{"upstream_bps", f(r.UpstreamThroughput)},
+		{"bytes_per_image", fint(r.BytesPerImage)},
+		{"overhead_bytes_per_image", fint(r.OverheadBytesPerImg)},
+	}
+	return header, rows
 }
 
 // CNCThroughput measures the covert channel over a real loopback HTTP
@@ -92,10 +102,8 @@ type CNCReport struct {
 // comparison adds a 1 ms simulated RTT, because the channel is RTT-bound
 // — which is exactly why the paper's 100 KB/s needs "a client which sends
 // requests for multiple images simultaneously".
-func CNCThroughput(payload int) (*Result, error) {
-	if payload <= 0 {
-		payload = 64 * 1024
-	}
+func CNCThroughput(env artifact.Env) (*artifact.Result, error) {
+	payload := env.Param("payload")
 	master := cnc.NewMasterServer()
 	base, shutdown, err := master.Serve()
 	if err != nil {
@@ -164,12 +172,41 @@ func CNCThroughput(payload int) (*Result, error) {
 	fmt.Fprintf(&b, "downstream, 1ms RTT, sequential:       %10.0f B/s\n", rttSeq)
 	fmt.Fprintf(&b, "upstream (URL-encoded):                %10.0f B/s\n", upRate)
 	fmt.Fprintf(&b, "paper claim: ≈100KB/s downstream with simultaneous image requests\n")
-	return &Result{ID: "cnc", Title: "§VI-C: covert channel throughput", Text: b.String(), Data: rep}, nil
+	return &artifact.Result{Text: b.String(), Dataset: rep}, nil
+}
+
+// FlowEvent is one traced frame of a message-flow phase.
+type FlowEvent struct {
+	TimeMs float64 `json:"time_ms"`
+	Src    string  `json:"src"`
+	Dst    string  `json:"dst"`
+	Bytes  int     `json:"bytes"`
+}
+
+// FlowPhase is one figure's traced message sequence.
+type FlowPhase struct {
+	Name   string      `json:"name"`
+	Events []FlowEvent `json:"events"`
+}
+
+// FlowsData is the Figures 1/2/4 dataset.
+type FlowsData []FlowPhase
+
+// Table flattens the dataset for the CSV and Markdown renderers.
+func (d FlowsData) Table() (header []string, rows [][]string) {
+	header = []string{"phase", "time_ms", "src", "dst", "bytes"}
+	for _, p := range d {
+		for _, e := range p.Events {
+			rows = append(rows, []string{p.Name,
+				strconv.FormatFloat(e.TimeMs, 'f', 2, 64), e.Src, e.Dst, fint(e.Bytes)})
+		}
+	}
+	return header, rows
 }
 
 // MessageFlows renders the Fig. 1 / Fig. 2 / Fig. 4 message sequences by
 // tracing a scripted kill-chain run.
-func MessageFlows() (*Result, error) {
+func MessageFlows(artifact.Env) (*artifact.Result, error) {
 	s, err := core.NewScenario(core.Config{Seed: 77})
 	if err != nil {
 		return nil, err
@@ -200,73 +237,54 @@ func MessageFlows() (*Result, error) {
 
 	// Phase 1 (Fig. 1): eviction. Phase 2 (Fig. 2): infection +
 	// propagation. Phase 3 (Fig. 4): C&C from the home network.
-	phase := func(name string, fn func() error) (string, error) {
+	phase := func(name string, fn func() error) (FlowPhase, error) {
 		events = events[:0]
 		if err := fn(); err != nil {
-			return "", err
+			return FlowPhase{}, err
 		}
-		var b strings.Builder
-		fmt.Fprintf(&b, "--- %s ---\n", name)
+		p := FlowPhase{Name: name}
 		for _, e := range events {
-			fmt.Fprintf(&b, "%8.2fms  %-12s → %-12s  %4dB\n",
-				float64(e.Time.Microseconds())/1000, e.Src, e.Dst, e.Size)
+			p.Events = append(p.Events, FlowEvent{
+				TimeMs: float64(e.Time.Microseconds()) / 1000,
+				Src:    string(e.Src), Dst: string(e.Dst), Bytes: e.Size,
+			})
 		}
-		return b.String(), nil
+		return p, nil
 	}
-	var out strings.Builder
-	txt, err := phase("Fig. 1: cache eviction", func() error {
+	var phases FlowsData
+	p, err := phase("Fig. 1: cache eviction", func() error {
 		_, err := s.Visit("any.com", "/")
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	out.WriteString(txt)
-	txt, err = phase("Fig. 2: cache infection + propagation", func() error {
+	phases = append(phases, p)
+	p, err = phase("Fig. 2: cache infection + propagation", func() error {
 		_, err := s.Visit("somesite.com", "/")
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	out.WriteString(txt)
+	phases = append(phases, p)
 	s.LeaveAttackerNetwork()
 	s.CNC.QueueCommand("bot-flow", []byte("noop|"))
-	txt, err = phase("Fig. 4: C&C after moving networks", func() error {
+	p, err = phase("Fig. 4: C&C after moving networks", func() error {
 		_, err := s.Visit("top1.com", "/")
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	out.WriteString(txt)
-	return &Result{ID: "flows", Title: "Figures 1/2/4: message flows", Text: out.String(), Data: nil}, nil
-}
+	phases = append(phases, p)
 
-// Deterministic regenerates every table and figure whose rendered
-// output is a pure function of the seeds — all artefacts except the
-// wall-clock C&C throughput measurement, which cmd/experiments runs
-// separately. Experiments run one after another (each already fans its
-// rows out on the runner), so the concatenated output is byte-identical
-// at any worker count.
-func Deterministic(run *runner.Runner, sites, days int) ([]*Result, error) {
-	var out []*Result
-	for _, fn := range []func() (*Result, error){
-		func() (*Result, error) { return TableI(run) },
-		func() (*Result, error) { return TableII(run) },
-		func() (*Result, error) { return TableIII(run) },
-		func() (*Result, error) { return TableIV(run) },
-		func() (*Result, error) { return TableV(run) },
-		func() (*Result, error) { return Figure3(run, sites, days) },
-		func() (*Result, error) { return Figure5(run, sites) },
-		MessageFlows,
-		func() (*Result, error) { return Countermeasures(run) },
-	} {
-		r, err := fn()
-		if err != nil {
-			return out, err
+	var out strings.Builder
+	for _, ph := range phases {
+		fmt.Fprintf(&out, "--- %s ---\n", ph.Name)
+		for _, e := range ph.Events {
+			fmt.Fprintf(&out, "%8.2fms  %-12s → %-12s  %4dB\n", e.TimeMs, e.Src, e.Dst, e.Bytes)
 		}
-		out = append(out, r)
 	}
-	return out, nil
+	return &artifact.Result{Text: out.String(), Dataset: phases}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"masterparasite/internal/apps"
+	"masterparasite/internal/artifact"
 	"masterparasite/internal/attacker"
 	"masterparasite/internal/attacks"
 	"masterparasite/internal/browser"
@@ -15,23 +16,43 @@ import (
 	"masterparasite/internal/runner"
 )
 
+// tableIVClients is the number of distinct clients behind each shared
+// cache in the functional infection run.
+const tableIVClients = 8
+
 // TableIVRow is one cache-device row with its functional verification.
 type TableIVRow struct {
-	Device        proxycache.Device
-	VictimsServed int // shared-cache infection outcome (-1 = not applicable)
+	Device        proxycache.Device `json:"device"`
+	VictimsServed int               `json:"victims_served"` // shared-cache infection outcome (-1 = not applicable)
+}
+
+// TableIVData is the Table IV dataset.
+type TableIVData []TableIVRow
+
+// Table flattens the dataset for the CSV and Markdown renderers.
+func (d TableIVData) Table() (header []string, rows [][]string) {
+	header = []string{"location", "type", "instance", "http", "https", "victims_served", "comment"}
+	for _, r := range d {
+		served := "n/a"
+		if r.VictimsServed >= 0 {
+			served = fmt.Sprintf("%d/%d", r.VictimsServed, tableIVClients)
+		}
+		rows = append(rows, []string{r.Device.Location, r.Device.Type, r.Device.Instance,
+			r.Device.HTTP.Symbol(), r.Device.HTTPS.Symbol(), served, r.Device.Comment})
+	}
+	return header, rows
 }
 
 // TableIV reproduces the caches-in-the-wild evaluation: the device
 // taxonomy plus, for every shared HTTP-capable device, a functional
 // infection run showing that one poisoned entry reaches every client.
 // Every device is one independent job with its own cache instance.
-func TableIV(r *runner.Runner) (*Result, error) {
-	const clients = 8
-	rows, err := runner.Map(r, proxycache.Devices(), func(_ int, d proxycache.Device) (TableIVRow, error) {
+func TableIV(env artifact.Env) (*artifact.Result, error) {
+	rows, err := runner.Map(env.Runner, proxycache.Devices(), func(_ int, d proxycache.Device) (TableIVRow, error) {
 		row := TableIVRow{Device: d, VictimsServed: -1}
 		if d.Shared && d.HTTP.Vulnerable() {
 			cache := proxycache.NewSharedCache(d.Instance, 1<<20, false, nil)
-			res := proxycache.RunInfection(cache, infectedJS(), clients)
+			res := proxycache.RunInfection(cache, infectedJS(), tableIVClients)
 			row.VictimsServed = res.VictimsServed
 		}
 		return row, nil
@@ -50,21 +71,39 @@ func TableIV(r *runner.Runner) (*Result, error) {
 		}
 		infected := "n/a"
 		if r.VictimsServed >= 0 {
-			infected = fmt.Sprintf("%d/%d", r.VictimsServed, clients)
+			infected = fmt.Sprintf("%d/%d", r.VictimsServed, tableIVClients)
 		}
 		fmt.Fprintf(&b, "%-42.42s %-28s %-5s %-6s %-10s %s\n",
 			loc, d.Instance, d.HTTP.Symbol(), d.HTTPS.Symbol(), infected, d.Comment)
 	}
-	return &Result{ID: "table4", Title: "Table IV: caches in the wild (taxonomy + shared-cache infection)", Text: b.String(), Data: rows}, nil
+	return &artifact.Result{Text: b.String(), Dataset: TableIVData(rows)}, nil
 }
 
-// TableVRow is one attack row with its run outcome.
+// TableVRow is one attack row with its run outcome. The catalogue
+// fields are flattened to plain strings so the dataset is
+// JSON-marshalable (the attack's executable Module never belongs in an
+// artifact).
 type TableVRow struct {
-	Attack       attacks.Attack
-	App          string
-	Succeeded    bool
-	Evidence     string
-	Requirements string
+	CIA          string `json:"cia"`
+	Attack       string `json:"attack"`
+	Category     string `json:"category"`
+	App          string `json:"app"`
+	Succeeded    bool   `json:"succeeded"`
+	Evidence     string `json:"evidence"`
+	Requirements string `json:"requirements"`
+}
+
+// TableVData is the Table V dataset.
+type TableVData []TableVRow
+
+// Table flattens the dataset for the CSV and Markdown renderers.
+func (d TableVData) Table() (header []string, rows [][]string) {
+	header = []string{"cia", "attack", "category", "app", "succeeded", "evidence", "requirements"}
+	for _, r := range d {
+		rows = append(rows, []string{r.CIA, r.Attack, r.Category, r.App,
+			fbool(r.Succeeded), r.Evidence, r.Requirements})
+	}
+	return header, rows
 }
 
 // tableVRun describes one catalogued attack execution.
@@ -80,7 +119,7 @@ type tableVRun struct {
 // catalogued module runs through an infected parasite against its target
 // application, and the row records whether the master received the
 // expected loot. Every attack is one independent scenario job.
-func TableV(r *runner.Runner) (*Result, error) {
+func TableV(env artifact.Env) (*artifact.Result, error) {
 	runs := []tableVRun{
 		{"steal-login", "bank", "", "creds", "submit-login"},
 		{"browser-data", "chat", "", "browser-data", "seed-storage"},
@@ -100,7 +139,7 @@ func TableV(r *runner.Runner) (*Result, error) {
 		{"attack-internal", "chat", "router.local,printer.local", "internal-hosts", "internal-devices"},
 		{"ddos-internal", "chat", "iot-cam.local|10", "internal-ddos-report", "internal-devices"},
 	}
-	rows, err := runner.Map(r, runs, func(_ int, run tableVRun) (TableVRow, error) {
+	rows, err := runner.Map(env.Runner, runs, func(_ int, run tableVRun) (TableVRow, error) {
 		atk, ok := attacks.ByName(run.attack)
 		if !ok {
 			return TableVRow{}, fmt.Errorf("table V: unknown attack %q", run.attack)
@@ -110,7 +149,8 @@ func TableV(r *runner.Runner) (*Result, error) {
 			return TableVRow{}, fmt.Errorf("table V %s: %w", run.attack, err)
 		}
 		return TableVRow{
-			Attack: atk, App: run.app, Succeeded: succeeded,
+			CIA: atk.CIA.String(), Attack: atk.Name, Category: string(atk.Category),
+			App: run.app, Succeeded: succeeded,
 			Evidence: evidence, Requirements: atk.Requirements,
 		}, nil
 	})
@@ -121,9 +161,9 @@ func TableV(r *runner.Runner) (*Result, error) {
 	fmt.Fprintf(&b, "%-4s %-26s %-16s %-8s %-7s %s\n", "CIA", "Attack", "Category", "App", "Result", "Evidence")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-4s %-26s %-16s %-8s %-7s %.60s\n",
-			r.Attack.CIA, r.Attack.Name, r.Attack.Category, r.App, mark(r.Succeeded), r.Evidence)
+			r.CIA, r.Attack, r.Category, r.App, mark(r.Succeeded), r.Evidence)
 	}
-	return &Result{ID: "table5", Title: "Table V: attacks against applications", Text: b.String(), Data: rows}, nil
+	return &artifact.Result{Text: b.String(), Dataset: TableVData(rows)}, nil
 }
 
 // runTableVAttack assembles a fresh lab and executes one catalogue row.

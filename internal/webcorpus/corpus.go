@@ -139,7 +139,7 @@ const (
 	StudyDays    = 100
 )
 
-// Generate builds the population. Marginals (see DESIGN.md §1):
+// Generate builds the population. Marginals (paper §V, §VI, Fig. 5):
 //
 //	HTTPS adoption      79%  (21% plain HTTP, §V)
 //	vulnerable SSL       7%  (SSL2.0/SSL3.0, §V)
