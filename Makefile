@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt-check test test-short race bench bench-smoke artifacts ci
+.PHONY: build vet fmt-check test test-short race bench bench-json bench-smoke artifacts ci
 
 ## build: compile every package and command
 build:
@@ -32,6 +32,16 @@ race:
 ## bench: the root benchmark harness (tables, figures, ablations, codecs)
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+## bench-json: run the full benchmark suite and refresh the machine-
+## readable trajectory in BENCH_3.json — the recorded pre-PR baseline is
+## preserved, "current" is replaced, and per-benchmark speedups are
+## recomputed (see cmd/benchjson)
+bench-json:
+	@tmp=$$(mktemp) && \
+	{ $(GO) test -bench=. -benchmem -run='^$$' . > $$tmp && \
+	  $(GO) run ./cmd/benchjson -pr 3 -update BENCH_3.json < $$tmp; } ; \
+	status=$$?; rm -f $$tmp; exit $$status
 
 ## bench-smoke: every benchmark exactly once, as a does-it-run gate
 bench-smoke:

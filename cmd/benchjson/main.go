@@ -1,0 +1,207 @@
+// Command benchjson converts `go test -bench -benchmem` text output
+// into the machine-readable bench trajectory (BENCH_*.json) that makes
+// the repo's speedups provable instead of anecdotal.
+//
+// It reads benchmark output on stdin and maintains a trajectory file:
+//
+//	go test -bench=. -benchmem -run='^$' . | benchjson -pr 3 -update BENCH_3.json
+//
+// The first run against a missing file records the parsed results as
+// the immutable "baseline" (and as "current"). Every later -update run
+// keeps the recorded baseline, replaces "current" with the fresh
+// results, and recomputes per-benchmark speedups — so the file always
+// answers "how much faster is HEAD than the pre-PR tree" at a glance.
+// Without -update the parsed results are printed to stdout as JSON.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric is one benchmark's measured cost.
+type Metric struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup compares a benchmark's current run against the baseline.
+type Speedup struct {
+	NsRatio     float64 `json:"ns_ratio"` // baseline ns/op ÷ current ns/op; >1 is faster
+	AllocsDelta float64 `json:"allocs_delta,omitempty"`
+}
+
+// Trajectory is the BENCH_*.json schema.
+type Trajectory struct {
+	Schema   string             `json:"schema"`
+	PR       int                `json:"pr,omitempty"`
+	GoOS     string             `json:"goos,omitempty"`
+	GoArch   string             `json:"goarch,omitempty"`
+	CPU      string             `json:"cpu,omitempty"`
+	Baseline map[string]Metric  `json:"baseline"`
+	Current  map[string]Metric  `json:"current"`
+	Speedup  map[string]Speedup `json:"speedup"`
+}
+
+const schemaID = "bench-trajectory/v1"
+
+func main() {
+	pr := flag.Int("pr", 0, "PR number recorded in the trajectory")
+	update := flag.String("update", "", "trajectory file to create or refresh (default: print parsed run to stdout)")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *pr, *update); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer, pr int, update string) error {
+	parsed, meta, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(parsed) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	if update == "" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(parsed)
+	}
+
+	traj := Trajectory{Schema: schemaID, PR: pr}
+	if raw, err := os.ReadFile(update); err == nil {
+		if err := json.Unmarshal(raw, &traj); err != nil {
+			return fmt.Errorf("existing %s: %w", update, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	traj.Schema = schemaID
+	if pr != 0 {
+		traj.PR = pr
+	}
+	traj.GoOS, traj.GoArch, traj.CPU = meta.goos, meta.goarch, meta.cpu
+	if len(traj.Baseline) == 0 {
+		// First recording: the parsed run IS the pre-change baseline.
+		traj.Baseline = parsed
+	}
+	traj.Current = parsed
+	traj.Speedup = make(map[string]Speedup)
+	for name, cur := range traj.Current {
+		base, ok := traj.Baseline[name]
+		if !ok || cur.NsPerOp == 0 {
+			continue
+		}
+		traj.Speedup[name] = Speedup{
+			NsRatio:     round2(base.NsPerOp / cur.NsPerOp),
+			AllocsDelta: cur.AllocsPerOp - base.AllocsPerOp,
+		}
+	}
+
+	buf, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(update, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(traj.Speedup))
+	for n := range traj.Speedup {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(out, "%-40s %6.2fx ns/op", n, traj.Speedup[n].NsRatio)
+		if d := traj.Speedup[n].AllocsDelta; d != 0 {
+			fmt.Fprintf(out, "  %+.0f allocs/op", d)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+type benchMeta struct {
+	goos, goarch, cpu string
+}
+
+// parseBench extracts Benchmark lines and the goos/goarch/cpu header
+// from `go test -bench` output.
+func parseBench(in io.Reader) (map[string]Metric, benchMeta, error) {
+	out := make(map[string]Metric)
+	var meta benchMeta
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			meta.goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			meta.goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			meta.cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 3 {
+			continue
+		}
+		name := stripCPUSuffix(f[0])
+		iters, err := strconv.Atoi(f[1])
+		if err != nil {
+			continue
+		}
+		m := Metric{Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			switch f[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "MB/s":
+				m.MBPerS = v
+			case "B/op":
+				m.BPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		out[name] = m
+	}
+	return out, meta, sc.Err()
+}
+
+// stripCPUSuffix removes the "-N" GOMAXPROCS suffix go test appends to
+// benchmark names, so trajectories compare across machine widths.
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: masterparasite
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFigure3_Persistency      	       4	 293132153 ns/op	133998090 B/op	 1758511 allocs/op
+BenchmarkHTTPSim_MessageRoundTrip-8 	  734816	      1544 ns/op	2696.15 MB/s	    4656 B/op	       7 allocs/op
+PASS
+ok  	masterparasite	8.8s
+`
+
+func TestParseBench(t *testing.T) {
+	parsed, meta, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.goos != "linux" || meta.goarch != "amd64" || !strings.Contains(meta.cpu, "Xeon") {
+		t.Fatalf("meta = %+v", meta)
+	}
+	fig3, ok := parsed["BenchmarkFigure3_Persistency"]
+	if !ok || fig3.NsPerOp != 293132153 || fig3.AllocsPerOp != 1758511 || fig3.Iterations != 4 {
+		t.Fatalf("fig3 = %+v ok=%v", fig3, ok)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped so trajectories compare
+	// across machines.
+	rt, ok := parsed["BenchmarkHTTPSim_MessageRoundTrip"]
+	if !ok || rt.MBPerS != 2696.15 || rt.BPerOp != 4656 {
+		t.Fatalf("roundtrip = %+v ok=%v", rt, ok)
+	}
+}
+
+func TestUpdatePreservesBaselineAndComputesSpeedup(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "BENCH_T.json")
+
+	// First run seeds baseline == current.
+	if err := run(strings.NewReader(sampleBench), os.Stderr, 3, file); err != nil {
+		t.Fatal(err)
+	}
+	// Second run: twice as fast, fewer allocs.
+	faster := strings.ReplaceAll(sampleBench, "293132153 ns/op", "146566076 ns/op")
+	faster = strings.ReplaceAll(faster, "1758511 allocs/op", "400000 allocs/op")
+	if err := run(strings.NewReader(faster), os.Stderr, 3, file); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(raw, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if traj.Schema != schemaID || traj.PR != 3 {
+		t.Fatalf("identity = %q pr=%d", traj.Schema, traj.PR)
+	}
+	if traj.Baseline["BenchmarkFigure3_Persistency"].NsPerOp != 293132153 {
+		t.Fatal("baseline was overwritten by the second run")
+	}
+	if traj.Current["BenchmarkFigure3_Persistency"].NsPerOp != 146566076 {
+		t.Fatal("current not refreshed")
+	}
+	sp := traj.Speedup["BenchmarkFigure3_Persistency"]
+	if sp.NsRatio < 1.99 || sp.NsRatio > 2.01 {
+		t.Fatalf("ns ratio = %v, want ≈2", sp.NsRatio)
+	}
+	if sp.AllocsDelta != 400000-1758511 {
+		t.Fatalf("allocs delta = %v", sp.AllocsDelta)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(strings.NewReader("no benchmarks here\n"), os.Stderr, 0, ""); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

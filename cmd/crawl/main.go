@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"masterparasite/internal/artifact"
@@ -74,16 +75,20 @@ func run(args []string, stdout io.Writer) error {
 
 	if *targets {
 		corpus := webcorpus.Generate(webcorpus.Params{Sites: *sites, Seed: int64(*seed)})
-		sel := crawler.SelectTargets(corpus, *days)
+		base := crawler.CrawlBaseline(pool, corpus)
+		sel := crawler.SelectTargetsFrom(pool, base, *days)
 		fmt.Fprintf(stdout, "\nsites with whole-window name-stable scripts: %d\n", len(sel))
-		shown := 0
-		for host, names := range sel {
-			fmt.Fprintf(stdout, "  %s: %v\n", host, names)
-			shown++
+		hosts := make([]string, 0, len(sel))
+		for host := range sel {
+			hosts = append(hosts, host)
+		}
+		sort.Strings(hosts)
+		for shown, host := range hosts {
 			if shown >= 10 {
 				fmt.Fprintf(stdout, "  ... (%d more)\n", len(sel)-shown)
 				break
 			}
+			fmt.Fprintf(stdout, "  %s: %v\n", host, sel[host])
 		}
 	}
 	return nil

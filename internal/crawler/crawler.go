@@ -9,10 +9,12 @@
 // synthetic corpus standing in for the Alexa population.
 //
 // Crawling is embarrassingly parallel: pages render purely from the
-// corpus's deterministic generators, so the daily crawl fans out one
-// job per day and the header survey one job per site, both through the
-// scenario-fleet runner with results folded in submission order. The
-// statistics are bit-identical at any worker count.
+// corpus's deterministic generators, so the daily crawl tiles into
+// (site-chunk × day) jobs and the header survey fans out one job per
+// site, both through the scenario-fleet runner with per-tile counts
+// folded in submission order. Counts are integers and addition is
+// order-free, so the statistics are bit-identical at any worker count
+// and any tiling.
 package crawler
 
 import (
@@ -46,15 +48,19 @@ type PersistencyResult struct {
 	Points []PersistencyPoint `json:"points"`
 }
 
-// At returns the point for a day (or the last one before it).
+// At returns the point for a day (or the last one before it; the first
+// point when day precedes the whole study). Points are sorted by day,
+// so the lookup is a binary search. An empty result — a corpus with no
+// crawlable site at all — yields the zero point.
 func (r *PersistencyResult) At(day int) PersistencyPoint {
-	out := r.Points[0]
-	for _, p := range r.Points {
-		if p.Day <= day {
-			out = p
-		}
+	if len(r.Points) == 0 {
+		return PersistencyPoint{}
 	}
-	return out
+	i := sort.Search(len(r.Points), func(i int) bool { return r.Points[i].Day > day })
+	if i == 0 {
+		return r.Points[0]
+	}
+	return r.Points[i-1]
 }
 
 // Table flattens the dataset — one row per measurement day — for the
@@ -68,11 +74,12 @@ func (r *PersistencyResult) Table() (header []string, rows [][]string) {
 	return header, rows
 }
 
-// scriptObs is what the crawler extracts from one page: script names and
-// content hashes.
+// scriptObs is what the crawler extracts from one page: same-site script
+// names mapped to their content hashes. The map is nil for pages that
+// carry no qualifying script — the common case on a crawl — so the
+// JS-free fast path allocates nothing beyond the parse itself.
 type scriptObs struct {
-	names  map[string]bool
-	hashes map[string]string // name → hash
+	scripts map[string]string // name → hash
 }
 
 // crawlDay fetches and parses one site's page for a day. Only same-site
@@ -85,54 +92,119 @@ func crawlDay(site *webcorpus.Site, day int) (scriptObs, bool) {
 		return scriptObs{}, false
 	}
 	doc := dom.ParseHTML(site.Host+"/", resp.Body)
-	obs := scriptObs{names: make(map[string]bool), hashes: make(map[string]string)}
-	for _, el := range doc.FindByTag("script") {
+	var obs scriptObs
+	hostPrefix := site.Host + "/"
+	doc.Root.Walk(func(el *dom.Element) {
+		if el.Tag != "script" {
+			return
+		}
 		src := strings.TrimPrefix(el.Attr("src"), "//")
-		if src == "" || !strings.HasSuffix(strings.SplitN(src, "?", 2)[0], ".js") {
-			continue
+		if src == "" {
+			return
 		}
-		if !strings.HasPrefix(src, site.Host+"/") {
-			continue // third-party
+		path := src
+		if q := strings.IndexByte(path, '?'); q >= 0 {
+			path = path[:q]
 		}
-		obs.names[src] = true
-		obs.hashes[src] = el.Attr("data-hash")
-	}
+		if !strings.HasSuffix(path, ".js") {
+			return
+		}
+		if !strings.HasPrefix(src, hostPrefix) {
+			return // third-party
+		}
+		if obs.scripts == nil {
+			obs.scripts = make(map[string]string, 8)
+		}
+		obs.scripts[src] = el.Attr("data-hash")
+	})
 	return obs, true
 }
 
-// CrawlPersistency runs the daily crawl for the given number of days
-// and produces the Fig. 3 curves. The day-0 baseline crawl fans out
-// one job per site, then each measurement day is one independent job;
-// points come back in day order, so the result is identical at any
-// worker count.
-func CrawlPersistency(r *runner.Runner, c *webcorpus.Corpus, days int) *PersistencyResult {
-	if days <= 0 {
-		days = webcorpus.StudyDays
-	}
-	type baseline struct {
+// Baseline is the memoized day-0 crawl of a corpus: one observation per
+// site, in site order. CrawlPersistencyFrom and SelectTargetsFrom both
+// compare later days against it, so a caller holding both can crawl
+// day 0 once instead of once per consumer.
+type Baseline struct {
+	corpus  *webcorpus.Corpus
+	obs     []scriptObs
+	ok      []bool
+	crawled int
+}
+
+// Crawled reports how many sites answered the baseline crawl.
+func (b *Baseline) Crawled() int { return b.crawled }
+
+// CrawlBaseline crawls every site once on day 0, one job per site.
+func CrawlBaseline(r *runner.Runner, c *webcorpus.Corpus) *Baseline {
+	type obsOK struct {
 		obs scriptObs
 		ok  bool
 	}
-	baselines, _ := runner.Map(r, c.Sites, func(_ int, s *webcorpus.Site) (baseline, error) {
-		obs, ok := crawlDay(s, 0)
-		return baseline{obs: obs, ok: ok}, nil
+	crawls, _ := runner.Map(r, c.Sites, func(_ int, s *webcorpus.Site) (obsOK, error) {
+		o, ok := crawlDay(s, 0)
+		return obsOK{obs: o, ok: ok}, nil
 	})
-	crawled := 0
-	for _, b := range baselines {
-		if b.ok {
-			crawled++
+	b := &Baseline{
+		corpus: c,
+		obs:    make([]scriptObs, len(crawls)),
+		ok:     make([]bool, len(crawls)),
+	}
+	for i, cr := range crawls {
+		b.obs[i] = cr.obs
+		b.ok[i] = cr.ok
+		if cr.ok {
+			b.crawled++
 		}
 	}
+	return b
+}
+
+// dayTile is one unit of the crawl fan-out: one measurement day over a
+// contiguous chunk of the corpus.
+type dayTile struct {
+	day    int
+	lo, hi int
+}
+
+// tileCounts is a tile's fold contribution — plain integer counts, so
+// folding is associative and the totals cannot depend on scheduling.
+type tileCounts struct {
+	anyJS, persName, persHash int
+}
+
+// CrawlPersistency runs the daily crawl for the given number of days and
+// produces the Fig. 3 curves, crawling day 0 itself. Use CrawlBaseline +
+// CrawlPersistencyFrom to share the baseline with target selection.
+func CrawlPersistency(r *runner.Runner, c *webcorpus.Corpus, days int) *PersistencyResult {
+	return CrawlPersistencyFrom(r, CrawlBaseline(r, c), days)
+}
+
+// CrawlPersistencyFrom produces the Fig. 3 curves against an existing
+// day-0 baseline. The measurement fans out as (site-chunk × day) tiles
+// rather than one monolithic all-sites job per day, so a wide worker
+// pool stays load-balanced even when the study has fewer days than the
+// pool has workers; per-tile integer counts are folded in day order.
+func CrawlPersistencyFrom(r *runner.Runner, base *Baseline, days int) *PersistencyResult {
+	if days <= 0 {
+		days = webcorpus.StudyDays
+	}
+	c := base.corpus
+	crawled := base.crawled
 	// Percentages are over successfully crawled sites, as in the paper
-	// (its statistics are over the 13,419 responders).
+	// (its statistics are over the 13,419 responders). An all-404 corpus
+	// has no denominator at all: report an empty result instead of
+	// dividing the curves by zero.
 	res := &PersistencyResult{Sites: crawled}
+	if crawled == 0 {
+		return res
+	}
 
 	// Day 0 needs no second crawl: every baseline trivially persists
 	// against itself, so all three curves start at the share of crawled
 	// sites serving at least one script.
 	withJS := 0
-	for _, b := range baselines {
-		if b.ok && len(b.obs.names) > 0 {
+	for i := range base.obs {
+		if base.ok[i] && len(base.obs[i].scripts) > 0 {
 			withJS++
 		}
 	}
@@ -141,71 +213,102 @@ func CrawlPersistency(r *runner.Runner, c *webcorpus.Corpus, days int) *Persiste
 		Day: 0, AnyJS: day0Share, PersistentName: day0Share, PersistentHash: day0Share,
 	})
 
-	dayList := make([]int, days)
-	for i := range dayList {
-		dayList[i] = i + 1
+	chunks := runner.Chunks(len(c.Sites), r.Workers())
+	tiles := make([]dayTile, 0, days*len(chunks))
+	for day := 1; day <= days; day++ {
+		for _, ch := range chunks {
+			tiles = append(tiles, dayTile{day: day, lo: ch[0], hi: ch[1]})
+		}
 	}
-	points, _ := runner.Map(r, dayList, func(_ int, day int) (PersistencyPoint, error) {
-		var anyJS, persName, persHash int
-		for i, s := range c.Sites {
-			if !baselines[i].ok {
+	counts, _ := runner.Map(r, tiles, func(_ int, t dayTile) (tileCounts, error) {
+		var tc tileCounts
+		for i := t.lo; i < t.hi; i++ {
+			if !base.ok[i] {
 				continue
 			}
-			obs, ok := crawlDay(s, day)
+			obs, ok := crawlDay(c.Sites[i], t.day)
 			if !ok {
 				continue
 			}
-			if len(obs.names) > 0 {
-				anyJS++
+			if len(obs.scripts) > 0 {
+				tc.anyJS++
 			}
 			name := false
 			hash := false
-			for n := range baselines[i].obs.names {
-				if obs.names[n] {
+			for n, baseHash := range base.obs[i].scripts {
+				if dayHash, live := obs.scripts[n]; live {
 					name = true
-					if obs.hashes[n] == baselines[i].obs.hashes[n] {
+					if dayHash == baseHash {
 						hash = true
 						break
 					}
 				}
 			}
 			if name {
-				persName++
+				tc.persName++
 			}
 			if hash {
-				persHash++
+				tc.persHash++
 			}
 		}
-		n := float64(crawled)
-		return PersistencyPoint{
-			Day:            day,
-			AnyJS:          100 * float64(anyJS) / n,
-			PersistentName: 100 * float64(persName) / n,
-			PersistentHash: 100 * float64(persHash) / n,
-		}, nil
+		return tc, nil
 	})
-	res.Points = append(res.Points, points...)
+	n := float64(crawled)
+	perChunk := len(chunks)
+	for day := 1; day <= days; day++ {
+		var total tileCounts
+		for _, tc := range counts[(day-1)*perChunk : day*perChunk] {
+			total.anyJS += tc.anyJS
+			total.persName += tc.persName
+			total.persHash += tc.persHash
+		}
+		res.Points = append(res.Points, PersistencyPoint{
+			Day:            day,
+			AnyJS:          100 * float64(total.anyJS) / n,
+			PersistentName: 100 * float64(total.persName) / n,
+			PersistentHash: 100 * float64(total.persHash) / n,
+		})
+	}
 	return res
 }
 
 // SelectTargets returns, per site, the scripts that remained name-stable
 // over the whole window — "these scripts are perfect targets to be
-// infected with parasites" (§VI-A).
+// infected with parasites" (§VI-A). It crawls its own baseline; use
+// SelectTargetsFrom to reuse one already crawled.
 func SelectTargets(c *webcorpus.Corpus, window int) map[string][]string {
-	out := make(map[string][]string)
-	for _, s := range c.Sites {
-		base, ok := crawlDay(s, 0)
-		if !ok {
-			continue
+	return SelectTargetsFrom(runner.New(1), CrawlBaseline(runner.New(1), c), window)
+}
+
+// SelectTargetsFrom selects name-stable scripts against an existing
+// day-0 baseline, crawling each site only once (on the window's last
+// day) instead of re-crawling day 0. One job per site; the fold keeps
+// site order, so the result is identical at any worker count.
+func SelectTargetsFrom(r *runner.Runner, base *Baseline, window int) map[string][]string {
+	c := base.corpus
+	stable, _ := runner.Map(r, c.Sites, func(i int, s *webcorpus.Site) ([]string, error) {
+		if !base.ok[i] || len(base.obs[i].scripts) == 0 {
+			return nil, nil
 		}
 		last, ok := crawlDay(s, window)
 		if !ok {
-			continue
+			return nil, nil
 		}
-		for n := range base.names {
-			if last.names[n] {
-				out[s.Host] = append(out[s.Host], n)
+		var names []string
+		for n := range base.obs[i].scripts {
+			if _, live := last.scripts[n]; live {
+				names = append(names, n)
 			}
+		}
+		// The baseline map iterates in random order; sort so the
+		// selection is reproducible run to run.
+		sort.Strings(names)
+		return names, nil
+	})
+	out := make(map[string][]string)
+	for i, names := range stable {
+		if len(names) > 0 {
+			out[c.Sites[i].Host] = names
 		}
 	}
 	return out

@@ -123,6 +123,91 @@ func TestParallelCrawlMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestCrawlPersistencyAllNonResponders pins the zero-crawl guard: a
+// corpus where every site 404s has no denominator, and the crawl must
+// report an empty result instead of NaN percentages.
+func TestCrawlPersistencyAllNonResponders(t *testing.T) {
+	t.Parallel()
+	c := &webcorpus.Corpus{Sites: []*webcorpus.Site{
+		{Rank: 1, Host: "dead1.example", Responds: false},
+		{Rank: 2, Host: "dead2.example", Responds: false},
+	}}
+	res := CrawlPersistency(testRunner(), c, 10)
+	if res.Sites != 0 {
+		t.Fatalf("Sites = %d, want 0", res.Sites)
+	}
+	if len(res.Points) != 0 {
+		t.Fatalf("Points = %d, want none", len(res.Points))
+	}
+	for _, day := range []int{0, 5, 100} {
+		p := res.At(day)
+		if p != (PersistencyPoint{}) {
+			t.Fatalf("At(%d) = %+v, want zero point", day, p)
+		}
+		if math.IsNaN(p.AnyJS) || math.IsNaN(p.PersistentName) || math.IsNaN(p.PersistentHash) {
+			t.Fatalf("At(%d) produced NaN: %+v", day, p)
+		}
+	}
+}
+
+// TestPersistencyResultAt covers the binary-search lookup: exact days,
+// days between points, and days before the first point.
+func TestPersistencyResultAt(t *testing.T) {
+	t.Parallel()
+	r := &PersistencyResult{Points: []PersistencyPoint{
+		{Day: 0, AnyJS: 10},
+		{Day: 5, AnyJS: 50},
+		{Day: 20, AnyJS: 20},
+	}}
+	cases := []struct {
+		day  int
+		want int // expected Day of the returned point
+	}{
+		{day: 0, want: 0},   // exact first
+		{day: 5, want: 5},   // exact middle
+		{day: 20, want: 20}, // exact last
+		{day: 3, want: 0},   // between first and second
+		{day: 19, want: 5},  // between second and third
+		{day: 99, want: 20}, // past the end
+		{day: -4, want: 0},  // before the first point
+	}
+	for _, c := range cases {
+		if got := r.At(c.day); got.Day != c.want {
+			t.Errorf("At(%d).Day = %d, want %d", c.day, got.Day, c.want)
+		}
+	}
+
+	// Matches the historical linear scan on the real curve.
+	res := CrawlPersistency(testRunner(), webcorpus.Generate(webcorpus.Params{Sites: 100, Seed: 5}), 12)
+	for day := -1; day <= 14; day++ {
+		want := res.Points[0]
+		for _, p := range res.Points {
+			if p.Day <= day {
+				want = p
+			}
+		}
+		if got := res.At(day); got != want {
+			t.Fatalf("At(%d) = %+v, want %+v", day, got, want)
+		}
+	}
+}
+
+// TestSelectTargetsFromSharedBaseline pins the baseline-reuse path: the
+// selection computed against a shared day-0 baseline matches the
+// self-contained SelectTargets at any worker count.
+func TestSelectTargetsFromSharedBaseline(t *testing.T) {
+	t.Parallel()
+	c := webcorpus.Generate(webcorpus.Params{Sites: 300, Seed: 3})
+	want := SelectTargets(c, 30)
+	for _, workers := range []int{1, 4} {
+		r := runner.New(workers)
+		got := SelectTargetsFrom(r, CrawlBaseline(r, c), 30)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: SelectTargetsFrom differs from SelectTargets", workers)
+		}
+	}
+}
+
 func TestSelectTargetsStableNames(t *testing.T) {
 	t.Parallel()
 	c := webcorpus.Generate(webcorpus.Params{Sites: 300, Seed: 3})

@@ -19,29 +19,62 @@ var voidTags = map[string]bool{
 	"br": true, "hr": true, "source": true,
 }
 
+// Attr is one element attribute.
+type Attr struct {
+	Key   string // always lower-case
+	Value string
+}
+
+// AttrList stores an element's attributes in insertion order. Elements
+// carry a handful of attributes at most, so a scanned slice beats a
+// hash map on both lookup time and allocation — the parser carves
+// lists out of a shared arena instead of allocating one map per
+// element.
+type AttrList []Attr
+
+// Get returns the value stored under the (already lower-case) key, or
+// "".
+func (a AttrList) Get(key string) string {
+	for i := range a {
+		if a[i].Key == key {
+			return a[i].Value
+		}
+	}
+	return ""
+}
+
+// set updates an existing key in place or appends a new one.
+func (a AttrList) set(key, value string) AttrList {
+	for i := range a {
+		if a[i].Key == key {
+			a[i].Value = value
+			return a
+		}
+	}
+	return append(a, Attr{Key: key, Value: value})
+}
+
 // Element is one node in the document tree.
 type Element struct {
 	Tag      string
-	Attrs    map[string]string
+	Attrs    AttrList
 	Children []*Element
 	Text     string // text content directly inside this element
 	parent   *Element
 }
 
-// NewElement creates a detached element.
+// NewElement creates a detached element. The attribute list is
+// allocated lazily by the first SetAttr.
 func NewElement(tag string) *Element {
-	return &Element{Tag: strings.ToLower(tag), Attrs: make(map[string]string)}
+	return &Element{Tag: lowerASCII(tag)}
 }
 
 // Attr returns an attribute value ("" when absent).
-func (e *Element) Attr(name string) string { return e.Attrs[strings.ToLower(name)] }
+func (e *Element) Attr(name string) string { return e.Attrs.Get(lowerASCII(name)) }
 
 // SetAttr sets an attribute.
 func (e *Element) SetAttr(name, value string) {
-	if e.Attrs == nil {
-		e.Attrs = make(map[string]string)
-	}
-	e.Attrs[strings.ToLower(name)] = value
+	e.Attrs = e.Attrs.set(lowerASCII(name), value)
 }
 
 // Append adds child to e, detaching it from any previous parent.
@@ -98,6 +131,8 @@ type Document struct {
 	URL  string
 	Root *Element
 
+	// Both hook maps are allocated lazily on first registration: most
+	// parsed documents (every page of a crawl) never hook anything.
 	submitHooks map[string][]SubmitHook // form id → hooks (parasite's hooks run first)
 	onSubmit    map[string]func(map[string]string)
 }
@@ -113,9 +148,7 @@ func NewDocument(url string) *Document {
 	root := NewElement("html")
 	root.Append(NewElement("head"))
 	root.Append(NewElement("body"))
-	return &Document{URL: url, Root: root,
-		submitHooks: make(map[string][]SubmitHook),
-		onSubmit:    make(map[string]func(map[string]string))}
+	return &Document{URL: url, Root: root}
 }
 
 // Head returns the <head> element.
@@ -247,11 +280,17 @@ func SetFormValue(form *Element, name, value string) bool {
 // form with the given id. Hooks run in registration order; any hook
 // returning false cancels the submission.
 func (d *Document) HookSubmit(formID string, hook SubmitHook) {
+	if d.submitHooks == nil {
+		d.submitHooks = make(map[string][]SubmitHook)
+	}
 	d.submitHooks[formID] = append(d.submitHooks[formID], hook)
 }
 
 // OnSubmit installs the application's native submit handler for a form.
 func (d *Document) OnSubmit(formID string, fn func(values map[string]string)) {
+	if d.onSubmit == nil {
+		d.onSubmit = make(map[string]func(map[string]string))
+	}
 	d.onSubmit[formID] = fn
 }
 
@@ -285,13 +324,11 @@ func (d *Document) HTML() []byte {
 func writeElement(b *bytes.Buffer, e *Element) {
 	b.WriteByte('<')
 	b.WriteString(e.Tag)
-	keys := make([]string, 0, len(e.Attrs))
-	for k := range e.Attrs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(b, " %s=%q", k, e.Attrs[k])
+	attrs := make(AttrList, len(e.Attrs))
+	copy(attrs, e.Attrs)
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Key < attrs[j].Key })
+	for _, a := range attrs {
+		fmt.Fprintf(b, " %s=%q", a.Key, a.Value)
 	}
 	b.WriteByte('>')
 	if voidTags[e.Tag] {

@@ -10,11 +10,17 @@ import (
 // single quotes, double quotes, or nothing. It is sufficient for the
 // synthetic corpus and the simulated applications — and, importantly, for
 // whatever bytes an attacker injects.
+//
+// The tokenizer is a single pass over one string conversion of the
+// input: every tag name, attribute, and text fragment is a substring of
+// that one allocation, elements come from a chunked arena, and
+// lowercasing/case-folding never allocates on the (overwhelmingly
+// common) already-lowercase path.
 func ParseHTML(url string, content []byte) *Document {
-	d := &Document{URL: url,
-		submitHooks: make(map[string][]SubmitHook),
-		onSubmit:    make(map[string]func(map[string]string))}
-	root := NewElement("html")
+	d := &Document{URL: url}
+	var arena elemArena
+	var attrs attrWriter
+	root := arena.new("html")
 	d.Root = root
 
 	stack := []*Element{root}
@@ -53,9 +59,11 @@ func ParseHTML(url string, content []byte) *Document {
 		case strings.HasPrefix(tag, "!"):
 			// Doctype: ignore.
 		case strings.HasPrefix(tag, "/"):
-			name := strings.ToLower(strings.TrimSpace(tag[1:]))
+			name := strings.TrimSpace(tag[1:])
 			for n := len(stack) - 1; n > 0; n-- {
-				if stack[n].Tag == name {
+				// ASCII fold only, matching the </script> scan: Unicode
+				// fold pairs must not close an element.
+				if len(stack[n].Tag) == len(name) && foldEq(stack[n].Tag, name) {
 					stack = stack[:n]
 					break
 				}
@@ -65,22 +73,22 @@ func ParseHTML(url string, content []byte) *Document {
 			if selfClose {
 				tag = strings.TrimSuffix(tag, "/")
 			}
-			el := parseTag(tag)
+			el := parseTag(&arena, &attrs, tag)
 			if el == nil {
 				continue
 			}
 			if el.Tag == "html" {
 				// Merge attributes into the existing root instead of
 				// nesting a second html element.
-				for k, v := range el.Attrs {
-					root.SetAttr(k, v)
+				for _, a := range el.Attrs {
+					root.SetAttr(a.Key, a.Value)
 				}
 				continue
 			}
 			top().Append(el)
 			if el.Tag == "script" {
 				// Raw-text element: consume everything to </script>.
-				if end := strings.Index(strings.ToLower(s[i:]), "</script>"); end >= 0 {
+				if end := indexFold(s[i:], "</script>"); end >= 0 {
 					el.Text = s[i : i+end]
 					i += end + len("</script>")
 				} else {
@@ -97,8 +105,127 @@ func ParseHTML(url string, content []byte) *Document {
 	return d
 }
 
+// arenaChunk is how many elements one arena allocation holds; a typical
+// corpus page has a few dozen.
+const arenaChunk = 32
+
+// elemArena hands out elements from chunked backing arrays, so a parse
+// costs O(elements/arenaChunk) element allocations instead of one per
+// element. Chunks are never appended past capacity, so handed-out
+// pointers stay valid.
+type elemArena struct {
+	buf []Element
+}
+
+func (a *elemArena) new(tag string) *Element {
+	if len(a.buf) == cap(a.buf) {
+		a.buf = make([]Element, 0, arenaChunk)
+	}
+	a.buf = a.buf[:len(a.buf)+1]
+	el := &a.buf[len(a.buf)-1]
+	el.Tag = tag
+	return el
+}
+
+// lowerASCII returns s lowercased, allocating only when s actually
+// contains an upper-case ASCII letter.
+func lowerASCII(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' {
+			return strings.ToLower(s)
+		}
+	}
+	return s
+}
+
+// indexFold returns the index of the first ASCII-case-insensitive
+// occurrence of sep in s, without lowercasing (and thus copying) s.
+func indexFold(s, sep string) int {
+	if len(sep) == 0 {
+		return 0
+	}
+	for i := 0; i+len(sep) <= len(s); i++ {
+		if foldEq(s[i:i+len(sep)], sep) {
+			return i
+		}
+	}
+	return -1
+}
+
+// foldEq reports whether two equal-length strings match ignoring ASCII
+// case.
+func foldEq(a, b string) bool {
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// attrChunk is how many attributes one arena allocation holds, and
+// attrReserve the headroom begin guarantees a single element — elements
+// with at most attrReserve attributes never migrate chunks.
+const (
+	attrChunk   = 64
+	attrReserve = 8
+)
+
+// attrWriter carves per-element AttrLists out of chunked backing
+// arrays. Handed-out lists are full-capacity subslices, so a later
+// SetAttr on the element reallocates instead of clobbering a
+// neighbouring element's attributes.
+type attrWriter struct {
+	buf   []Attr
+	start int // where the current element's attributes begin
+}
+
+// begin opens a new element, rolling to a fresh chunk when the current
+// one cannot fit a typical element.
+func (w *attrWriter) begin() {
+	if cap(w.buf)-len(w.buf) < attrReserve {
+		w.buf = make([]Attr, 0, attrChunk)
+	}
+	w.start = len(w.buf)
+}
+
+// add appends one attribute for the current element, updating in place
+// on a duplicate key. An element overflowing its chunk migrates to a
+// fresh one so its list stays contiguous.
+func (w *attrWriter) add(key, value string) {
+	for i := w.start; i < len(w.buf); i++ {
+		if w.buf[i].Key == key {
+			w.buf[i].Value = value
+			return
+		}
+	}
+	if len(w.buf) == cap(w.buf) {
+		nbuf := make([]Attr, len(w.buf)-w.start, cap(w.buf)*2)
+		copy(nbuf, w.buf[w.start:])
+		w.buf = nbuf
+		w.start = 0
+	}
+	w.buf = append(w.buf, Attr{Key: key, Value: value})
+}
+
+// finish closes the current element and returns its (possibly empty)
+// attribute list.
+func (w *attrWriter) finish() AttrList {
+	if len(w.buf) == w.start {
+		return nil
+	}
+	return w.buf[w.start:len(w.buf):len(w.buf)]
+}
+
 // parseTag parses "name attr=val attr2='v'" into an element.
-func parseTag(raw string) *Element {
+func parseTag(arena *elemArena, attrs *attrWriter, raw string) *Element {
 	raw = strings.TrimSpace(raw)
 	if raw == "" {
 		return nil
@@ -110,12 +237,16 @@ func parseTag(raw string) *Element {
 		name = raw[:nameEnd]
 		rest = raw[nameEnd:]
 	}
-	el := NewElement(name)
-	parseAttrs(el, rest)
+	el := arena.new(lowerASCII(name))
+	if rest != "" {
+		attrs.begin()
+		parseAttrs(attrs, rest)
+		el.Attrs = attrs.finish()
+	}
 	return el
 }
 
-func parseAttrs(el *Element, s string) {
+func parseAttrs(w *attrWriter, s string) {
 	i := 0
 	for i < len(s) {
 		// Skip whitespace.
@@ -158,6 +289,6 @@ func parseAttrs(el *Element, s string) {
 				value = s[vstart:i]
 			}
 		}
-		el.SetAttr(name, value)
+		w.add(lowerASCII(name), value)
 	}
 }

@@ -103,27 +103,52 @@ func (r *Request) PathOnly() string {
 	return r.Path
 }
 
-// Marshal encodes the request in HTTP/1.1 wire format.
+// appendHeaderLine appends "k: v\r\n".
+func appendHeaderLine(b []byte, k, v string) []byte {
+	b = append(b, k...)
+	b = append(b, ": "...)
+	b = append(b, v...)
+	return append(b, '\r', '\n')
+}
+
+// Marshal encodes the request in HTTP/1.1 wire format. The message is
+// assembled into one exact-size allocation (plus the sorted key
+// scratch) — this sits under every simulated fetch.
 func (r *Request) Marshal() []byte {
-	var b bytes.Buffer
-	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", r.Method, r.Path)
-	fmt.Fprintf(&b, "Host: %s\r\n", r.Host)
 	hdr := r.Header
-	if hdr == nil {
-		hdr = Header{}
-	}
-	for _, k := range hdr.keysSorted() {
+	keys := hdr.keysSorted()
+	n := len(r.Method) + 1 + len(r.Path) + len(" HTTP/1.1\r\n") +
+		len("Host: ") + len(r.Host) + 2
+	for _, k := range keys {
 		if k == "Host" || k == "Content-Length" {
 			continue
 		}
-		fmt.Fprintf(&b, "%s: %s\r\n", k, hdr[k])
+		n += len(k) + 2 + len(hdr[k]) + 2
 	}
 	if len(r.Body) > 0 {
-		fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
+		n += len("Content-Length: ") + intLen(len(r.Body)) + 2
 	}
-	b.WriteString("\r\n")
-	b.Write(r.Body)
-	return b.Bytes()
+	n += 2 + len(r.Body)
+
+	b := make([]byte, 0, n)
+	b = append(b, r.Method...)
+	b = append(b, ' ')
+	b = append(b, r.Path...)
+	b = append(b, " HTTP/1.1\r\n"...)
+	b = appendHeaderLine(b, "Host", r.Host)
+	for _, k := range keys {
+		if k == "Host" || k == "Content-Length" {
+			continue
+		}
+		b = appendHeaderLine(b, k, hdr[k])
+	}
+	if len(r.Body) > 0 {
+		b = append(b, "Content-Length: "...)
+		b = strconv.AppendInt(b, int64(len(r.Body)), 10)
+		b = append(b, '\r', '\n')
+	}
+	b = append(b, '\r', '\n')
+	return append(b, r.Body...)
 }
 
 // Response is an HTTP response message.
@@ -162,29 +187,52 @@ func statusText(code int) string {
 	}
 }
 
+// intLen returns the decimal digit count of a non-negative int.
+func intLen(v int) int {
+	n := 1
+	for v >= 10 {
+		v /= 10
+		n++
+	}
+	return n
+}
+
 // Marshal encodes the response in HTTP/1.1 wire format with an explicit
 // Content-Length — this is also the byte string the attacker injects.
+// Like Request.Marshal, it assembles the message into one exact-size
+// allocation.
 func (r *Response) Marshal() []byte {
-	var b bytes.Buffer
 	status := r.Status
 	if status == "" {
 		status = statusText(r.StatusCode)
 	}
-	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.StatusCode, status)
 	hdr := r.Header
-	if hdr == nil {
-		hdr = Header{}
-	}
-	for _, k := range hdr.keysSorted() {
+	keys := hdr.keysSorted()
+	n := len("HTTP/1.1 ") + intLen(r.StatusCode) + 1 + len(status) + 2
+	for _, k := range keys {
 		if k == "Content-Length" {
 			continue
 		}
-		fmt.Fprintf(&b, "%s: %s\r\n", k, hdr[k])
+		n += len(k) + 2 + len(hdr[k]) + 2
 	}
-	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
-	b.WriteString("\r\n")
-	b.Write(r.Body)
-	return b.Bytes()
+	n += len("Content-Length: ") + intLen(len(r.Body)) + 2 + 2 + len(r.Body)
+
+	b := make([]byte, 0, n)
+	b = append(b, "HTTP/1.1 "...)
+	b = strconv.AppendInt(b, int64(r.StatusCode), 10)
+	b = append(b, ' ')
+	b = append(b, status...)
+	b = append(b, '\r', '\n')
+	for _, k := range keys {
+		if k == "Content-Length" {
+			continue
+		}
+		b = appendHeaderLine(b, k, hdr[k])
+	}
+	b = append(b, "Content-Length: "...)
+	b = strconv.AppendInt(b, int64(len(r.Body)), 10)
+	b = append(b, '\r', '\n', '\r', '\n')
+	return append(b, r.Body...)
 }
 
 // Errors returned by the parsers.
@@ -203,9 +251,28 @@ func splitHead(data []byte) (head []byte, bodyOff int, err error) {
 	return data[:i], i + 4, nil
 }
 
-func parseHeaders(lines []string) (Header, error) {
-	h := Header{}
-	for _, ln := range lines {
+// parseHead converts the header block into one string (the only parse
+// allocation besides the header map itself — every line, key, and value
+// is a substring of it) and splits off the start line.
+func parseHead(head []byte) (startLine, rest string) {
+	s := string(head)
+	if i := strings.Index(s, "\r\n"); i >= 0 {
+		return s[:i], s[i+2:]
+	}
+	return s, ""
+}
+
+// parseHeaders decodes "Key: value\r\n" lines from the header block,
+// walking line by line instead of materialising a []string split.
+func parseHeaders(s string) (Header, error) {
+	h := make(Header, 8)
+	for len(s) > 0 {
+		ln := s
+		if i := strings.Index(s, "\r\n"); i >= 0 {
+			ln, s = s[:i], s[i+2:]
+		} else {
+			s = ""
+		}
 		if ln == "" {
 			continue
 		}
@@ -218,29 +285,42 @@ func parseHeaders(lines []string) (Header, error) {
 	return h, nil
 }
 
+// contentLength reads and validates the Content-Length header (0 when
+// absent).
+func contentLength(hdr Header) (int, error) {
+	v := hdr.Get("Content-Length")
+	if v == "" {
+		return 0, nil
+	}
+	clen, err := strconv.Atoi(v)
+	if err != nil || clen < 0 {
+		return 0, fmt.Errorf("%w: content-length %q", ErrMalformed, v)
+	}
+	return clen, nil
+}
+
 // ParseRequest decodes one request from data, returning the message and
 // the number of bytes consumed. It returns ErrIncomplete until a full
-// message is buffered.
+// message is buffered. The returned Body aliases data — callers that
+// mutate or recycle the wire buffer must copy it first (the simulated
+// stacks never do: wire buffers are written once per message).
 func ParseRequest(data []byte) (*Request, int, error) {
 	head, bodyOff, err := splitHead(data)
 	if err != nil {
 		return nil, 0, err
 	}
-	lines := strings.Split(string(head), "\r\n")
-	parts := strings.SplitN(lines[0], " ", 3)
+	startLine, rest := parseHead(head)
+	parts := strings.SplitN(startLine, " ", 3)
 	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
-		return nil, 0, fmt.Errorf("%w: request line %q", ErrMalformed, lines[0])
+		return nil, 0, fmt.Errorf("%w: request line %q", ErrMalformed, startLine)
 	}
-	hdr, err := parseHeaders(lines[1:])
+	hdr, err := parseHeaders(rest)
 	if err != nil {
 		return nil, 0, err
 	}
-	clen := 0
-	if v := hdr.Get("Content-Length"); v != "" {
-		clen, err = strconv.Atoi(v)
-		if err != nil || clen < 0 {
-			return nil, 0, fmt.Errorf("%w: content-length %q", ErrMalformed, v)
-		}
+	clen, err := contentLength(hdr)
+	if err != nil {
+		return nil, 0, err
 	}
 	if len(data) < bodyOff+clen {
 		return nil, 0, ErrIncomplete
@@ -250,23 +330,24 @@ func ParseRequest(data []byte) (*Request, int, error) {
 		Path:   parts[1],
 		Host:   hdr.Get("Host"),
 		Header: hdr,
-		Body:   append([]byte(nil), data[bodyOff:bodyOff+clen]...),
+		Body:   data[bodyOff : bodyOff+clen : bodyOff+clen],
 	}
 	hdr.Del("Host")
 	return req, bodyOff + clen, nil
 }
 
 // ParseResponse decodes one response from data, returning the message and
-// bytes consumed, or ErrIncomplete.
+// bytes consumed, or ErrIncomplete. Like ParseRequest, the returned Body
+// is a zero-copy view of data.
 func ParseResponse(data []byte) (*Response, int, error) {
 	head, bodyOff, err := splitHead(data)
 	if err != nil {
 		return nil, 0, err
 	}
-	lines := strings.Split(string(head), "\r\n")
-	parts := strings.SplitN(lines[0], " ", 3)
+	startLine, rest := parseHead(head)
+	parts := strings.SplitN(startLine, " ", 3)
 	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
-		return nil, 0, fmt.Errorf("%w: status line %q", ErrMalformed, lines[0])
+		return nil, 0, fmt.Errorf("%w: status line %q", ErrMalformed, startLine)
 	}
 	code, err := strconv.Atoi(parts[1])
 	if err != nil {
@@ -276,16 +357,13 @@ func ParseResponse(data []byte) (*Response, int, error) {
 	if len(parts) == 3 {
 		status = parts[2]
 	}
-	hdr, err := parseHeaders(lines[1:])
+	hdr, err := parseHeaders(rest)
 	if err != nil {
 		return nil, 0, err
 	}
-	clen := 0
-	if v := hdr.Get("Content-Length"); v != "" {
-		clen, err = strconv.Atoi(v)
-		if err != nil || clen < 0 {
-			return nil, 0, fmt.Errorf("%w: content-length %q", ErrMalformed, v)
-		}
+	clen, err := contentLength(hdr)
+	if err != nil {
+		return nil, 0, err
 	}
 	if len(data) < bodyOff+clen {
 		return nil, 0, ErrIncomplete
@@ -294,6 +372,6 @@ func ParseResponse(data []byte) (*Response, int, error) {
 		StatusCode: code,
 		Status:     status,
 		Header:     hdr,
-		Body:       append([]byte(nil), data[bodyOff:bodyOff+clen]...),
+		Body:       data[bodyOff : bodyOff+clen : bodyOff+clen],
 	}, bodyOff + clen, nil
 }

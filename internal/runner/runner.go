@@ -112,6 +112,39 @@ func Map[T, R any](r *Runner, items []T, fn func(i int, item T) (R, error)) ([]R
 	return out, nil
 }
 
+// minChunk is the smallest span Chunks will produce: below this the
+// per-job scheduling overhead outweighs the work in the span.
+const minChunk = 16
+
+// Chunks splits n items into balanced contiguous [lo, hi) ranges sized
+// for a pool of the given width. It aims for ~4 spans per worker so a
+// straggling span cannot serialise the batch tail, but never cuts spans
+// smaller than minChunk items. With one worker (or few items) it
+// returns a single full range, so sequential callers pay no overhead.
+func Chunks(n, workers int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	chunks := 1
+	if workers > 1 {
+		chunks = workers * 4
+		if maxChunks := n / minChunk; chunks > maxChunks {
+			chunks = maxChunks
+		}
+		if chunks < 1 {
+			chunks = 1
+		}
+	}
+	out := make([][2]int, 0, chunks)
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*n/chunks, (i+1)*n/chunks
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
 // Seed derives a per-job RNG seed from a batch base seed and the
 // job's identity. The derivation is pure (FNV-1a over base and id),
 // so a job's seed depends only on what the job is — never on worker

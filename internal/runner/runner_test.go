@@ -211,3 +211,50 @@ func (a *atomic32) load() int {
 	defer a.mu.Unlock()
 	return a.n
 }
+
+// TestChunksCoverExactly pins the tiling helper: every index in [0, n)
+// appears in exactly one range, ranges are in order, and none is empty.
+func TestChunksCoverExactly(t *testing.T) {
+	for _, c := range []struct{ n, workers int }{
+		{0, 4}, {1, 1}, {1, 8}, {15, 1}, {16, 4}, {100, 1},
+		{100, 7}, {1000, 8}, {3, 16}, {64, 64},
+	} {
+		chunks := Chunks(c.n, c.workers)
+		next := 0
+		for _, ch := range chunks {
+			if ch[0] != next {
+				t.Fatalf("n=%d workers=%d: range starts at %d, want %d", c.n, c.workers, ch[0], next)
+			}
+			if ch[1] <= ch[0] {
+				t.Fatalf("n=%d workers=%d: empty range %v", c.n, c.workers, ch)
+			}
+			next = ch[1]
+		}
+		if next != c.n {
+			t.Fatalf("n=%d workers=%d: ranges cover [0,%d), want [0,%d)", c.n, c.workers, next, c.n)
+		}
+	}
+}
+
+// TestChunksSequentialIsSingle pins the no-overhead property for the
+// sequential case: one worker means one chunk for any study size small
+// enough to matter.
+func TestChunksSequentialIsSingle(t *testing.T) {
+	for _, n := range []int{1, 10, 100} {
+		if got := len(Chunks(n, 1)); got != 1 {
+			t.Fatalf("Chunks(%d, 1) = %d ranges, want 1", n, got)
+		}
+	}
+}
+
+// TestChunksRespectMinimumSpan ensures tiling never fragments below the
+// scheduling-overhead floor.
+func TestChunksRespectMinimumSpan(t *testing.T) {
+	for _, c := range []struct{ n, workers int }{{100, 64}, {33, 8}, {17, 16}} {
+		for _, ch := range Chunks(c.n, c.workers) {
+			if span := ch[1] - ch[0]; span < minChunk && len(Chunks(c.n, c.workers)) > 1 {
+				t.Fatalf("n=%d workers=%d: span %d below minimum %d", c.n, c.workers, span, minChunk)
+			}
+		}
+	}
+}

@@ -456,3 +456,21 @@ func TestPolicyStrings(t *testing.T) {
 		t.Fatal("zero policy string wrong")
 	}
 }
+
+// TestSegmentMarshalAllocs locks the wire codec at its one-allocation
+// floor. Skipped in -short mode: the CI race detector perturbs counts.
+func TestSegmentMarshalAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counts shift under -race; tier-1 runs this")
+	}
+	seg := Segment{SrcPort: 50000, DstPort: 80, Seq: 1000, Ack: 2000,
+		Flags: FlagACK | FlagPSH, Payload: bytes.Repeat([]byte("p"), 1460)}
+	got := testing.AllocsPerRun(500, func() {
+		if len(seg.Marshal()) == 0 {
+			t.Fatal("empty marshal")
+		}
+	})
+	if got > 1 {
+		t.Errorf("Segment.Marshal allocs/op = %.0f, want 1", got)
+	}
+}

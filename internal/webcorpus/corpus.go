@@ -15,7 +15,9 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
+	"sync"
 
 	"masterparasite/internal/httpsim"
 )
@@ -119,6 +121,68 @@ type Site struct {
 	Objects []ObjectSpec
 
 	seed int64
+	memo siteMemo
+}
+
+// siteMemo caches the site's object-churn timeline. Names and content
+// hashes are pure functions of (object index, generation), and a
+// generation spans many study days, so the daily crawl re-derives the
+// same handful of strings and SHA-256 digests thousands of times —
+// memoizing them per generation turns ObjectsOn and RenderPage into
+// lookups. Sites are crawled concurrently by the scenario fleet, so
+// the generation maps are guarded by a read-mostly lock.
+type siteMemo struct {
+	once sync.Once
+
+	// eternalNames[i] is the day-independent name of object i when it
+	// never renames ("" for periodically renamed objects).
+	eternalNames []string
+	// banner is the constant page trailer "<h1>host (rank N)</h1>".
+	banner string
+
+	mu     sync.RWMutex
+	names  map[uint64]string // genKey(objIdx, nameGen) → name
+	hashes map[uint64]string // genKey(objIdx, contentGen) → hash
+}
+
+// genKey packs an object index and a generation into one map key.
+func genKey(objIdx, gen int) uint64 {
+	return uint64(objIdx)<<32 | uint64(uint32(gen))
+}
+
+// ensureMemo initialises the timeline cache on first use.
+func (s *Site) ensureMemo() {
+	s.memo.once.Do(func() {
+		s.memo.eternalNames = make([]string, len(s.Objects))
+		for i, spec := range s.Objects {
+			if spec.RenamePeriod == 0 {
+				s.memo.eternalNames[i] = s.Host + "/" + spec.Base + "." + spec.Kind.ext()
+			}
+		}
+		s.memo.banner = "<h1>" + s.Host + " (rank " + strconv.Itoa(s.Rank) + ")</h1>"
+		s.memo.names = make(map[uint64]string)
+		s.memo.hashes = make(map[uint64]string)
+	})
+}
+
+// objectName returns the memoized name of object i at a rename
+// generation.
+func (s *Site) objectName(i int, spec *ObjectSpec, nameGen int) string {
+	if spec.RenamePeriod == 0 {
+		return s.memo.eternalNames[i]
+	}
+	key := genKey(i, nameGen)
+	s.memo.mu.RLock()
+	name, ok := s.memo.names[key]
+	s.memo.mu.RUnlock()
+	if ok {
+		return name
+	}
+	name = s.Host + "/" + spec.Base + "." + strconv.Itoa(nameGen) + "." + spec.Kind.ext()
+	s.memo.mu.Lock()
+	s.memo.names[key] = name
+	s.memo.mu.Unlock()
+	return name
 }
 
 // Params configures corpus generation.
@@ -293,39 +357,51 @@ func gen(period, day int) int {
 
 // ObjectsOn returns the site's object states for a study day.
 func (s *Site) ObjectsOn(day int) []ObjectState {
-	out := make([]ObjectState, 0, len(s.Objects)+1)
-	for i, spec := range s.Objects {
-		nameGen := gen(spec.RenamePeriod, day)
-		contentGen := gen(spec.ContentPeriod, day)
-		name := fmt.Sprintf("%s/%s.%s", s.Host, spec.Base, spec.Kind.ext())
-		if spec.RenamePeriod > 0 {
-			name = fmt.Sprintf("%s/%s.%d.%s", s.Host, spec.Base, nameGen, spec.Kind.ext())
-		}
-		out = append(out, ObjectState{
-			Name: name,
-			Hash: s.contentHash(i, contentGen),
+	return s.appendObjectsOn(make([]ObjectState, 0, len(s.Objects)+1), day)
+}
+
+// appendObjectsOn appends the day's object states to dst, drawing names
+// and hashes from the per-generation memo.
+func (s *Site) appendObjectsOn(dst []ObjectState, day int) []ObjectState {
+	s.ensureMemo()
+	for i := range s.Objects {
+		spec := &s.Objects[i]
+		dst = append(dst, ObjectState{
+			Name: s.objectName(i, spec, gen(spec.RenamePeriod, day)),
+			Hash: s.contentHash(i, gen(spec.ContentPeriod, day)),
 			Kind: spec.Kind,
 			Size: spec.Size,
 		})
 	}
 	if s.UsesGoogleAnalytics {
-		out = append(out, ObjectState{
+		dst = append(dst, ObjectState{
 			Name: "analytics.example/ga.js",
 			Hash: "ga-shared-v1",
 			Kind: KindJS,
 			Size: 17000,
 		})
 	}
-	return out
+	return dst
 }
 
 func (s *Site) contentHash(objIdx, contentGen int) string {
+	key := genKey(objIdx, contentGen)
+	s.memo.mu.RLock()
+	hash, ok := s.memo.hashes[key]
+	s.memo.mu.RUnlock()
+	if ok {
+		return hash
+	}
 	var buf [24]byte
 	binary.BigEndian.PutUint64(buf[0:8], uint64(s.seed))
 	binary.BigEndian.PutUint64(buf[8:16], uint64(objIdx))
 	binary.BigEndian.PutUint64(buf[16:24], uint64(contentGen))
 	sum := sha256.Sum256(buf[:])
-	return hex.EncodeToString(sum[:8])
+	hash = hex.EncodeToString(sum[:8])
+	s.memo.mu.Lock()
+	s.memo.hashes[key] = hash
+	s.memo.mu.Unlock()
+	return hash
 }
 
 // SecurityHeaders renders the site's response headers.
@@ -340,29 +416,76 @@ func (s *Site) SecurityHeaders() httpsim.Header {
 	return h
 }
 
+// statePool recycles the object-state scratch RenderPage assembles a
+// page from; the states never escape the call.
+var statePool = sync.Pool{New: func() any { return new([]ObjectState) }}
+
+// Page markup fragments. The body is assembled by exact-size append
+// instead of strings.Builder+Fprintf: at full population the crawl
+// renders ~1.5M pages, and the fragment lengths plus the memoized name
+// and hash lengths give the final byte count up front.
+const (
+	pagePrefix   = "<html><head>"
+	pageBodyOpen = "</head><body>"
+	pageSuffix   = "</body></html>"
+	scriptOpen   = `<script src="//`
+	scriptHash   = `" data-hash="`
+	scriptClose  = `"></script>`
+	cssOpen      = `<link rel="stylesheet" href="//`
+	cssClose     = `">`
+	imgOpen      = `<img src="//`
+	imgClose     = `">`
+)
+
 // RenderPage produces the site's front page for a day: an HTML response
 // listing that day's objects, with the site's security headers — what the
-// paper's daily crawler fetched and hashed.
+// paper's daily crawler fetched and hashed. The rendered bytes are
+// identical to the historical strings.Builder+Fprintf rendering.
 func (s *Site) RenderPage(day int) *httpsim.Response {
 	if !s.Responds {
 		return httpsim.NewResponse(404, nil)
 	}
-	var b strings.Builder
-	b.WriteString("<html><head>")
-	for _, o := range s.ObjectsOn(day) {
-		switch o.Kind {
+	scratch := statePool.Get().(*[]ObjectState)
+	states := s.appendObjectsOn((*scratch)[:0], day)
+
+	n := len(pagePrefix) + len(pageBodyOpen) + len(s.memo.banner) + len(pageSuffix)
+	for i := range states {
+		switch o := &states[i]; o.Kind {
 		case KindJS:
-			fmt.Fprintf(&b, `<script src="%s" data-hash=%q></script>`, "//"+o.Name, o.Hash)
+			n += len(scriptOpen) + len(o.Name) + len(scriptHash) + len(o.Hash) + len(scriptClose)
 		case KindCSS:
-			fmt.Fprintf(&b, `<link rel="stylesheet" href="%s">`, "//"+o.Name)
+			n += len(cssOpen) + len(o.Name) + len(cssClose)
 		case KindImg:
-			fmt.Fprintf(&b, `<img src="%s">`, "//"+o.Name)
+			n += len(imgOpen) + len(o.Name) + len(imgClose)
 		}
 	}
-	b.WriteString("</head><body>")
-	fmt.Fprintf(&b, "<h1>%s (rank %d)</h1>", s.Host, s.Rank)
-	b.WriteString("</body></html>")
-	resp := httpsim.NewResponse(200, []byte(b.String()))
+	body := make([]byte, 0, n)
+	body = append(body, pagePrefix...)
+	for i := range states {
+		switch o := &states[i]; o.Kind {
+		case KindJS:
+			body = append(body, scriptOpen...)
+			body = append(body, o.Name...)
+			body = append(body, scriptHash...)
+			body = append(body, o.Hash...)
+			body = append(body, scriptClose...)
+		case KindCSS:
+			body = append(body, cssOpen...)
+			body = append(body, o.Name...)
+			body = append(body, cssClose...)
+		case KindImg:
+			body = append(body, imgOpen...)
+			body = append(body, o.Name...)
+			body = append(body, imgClose...)
+		}
+	}
+	body = append(body, pageBodyOpen...)
+	body = append(body, s.memo.banner...)
+	body = append(body, pageSuffix...)
+	*scratch = states
+	statePool.Put(scratch)
+
+	resp := httpsim.NewResponse(200, body)
 	resp.Header = s.SecurityHeaders()
 	resp.Header.Set("Content-Type", "text/html")
 	resp.Header.Set("Cache-Control", "max-age=600")

@@ -1,6 +1,7 @@
 package webcorpus
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -203,6 +204,67 @@ func TestKindStrings(t *testing.T) {
 	for k, want := range map[ObjectKind]string{KindJS: "js", KindCSS: "css", KindImg: "img", ObjectKind(0): "unknown"} {
 		if k.String() != want {
 			t.Errorf("kind %d = %q", k, k.String())
+		}
+	}
+}
+
+// TestRenderPageAllocs locks in the render hot path's allocation budget:
+// with the timeline memoized and the page assembled by exact-size
+// append, a warm render costs a handful of allocations instead of one
+// per formatted name and hash. Skipped in -short mode: the CI race
+// detector perturbs counts.
+func TestRenderPageAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counts shift under -race; tier-1 runs this")
+	}
+	var site *Site
+	for _, s := range Generate(Params{Sites: 50, Seed: 3}).Sites {
+		if s.Responds {
+			site = s
+			break
+		}
+	}
+	site.RenderPage(0) // warm the generation memo
+	got := testing.AllocsPerRun(200, func() {
+		if resp := site.RenderPage(0); resp.StatusCode != 200 {
+			t.Fatal("bad render")
+		}
+	})
+	// Measured 5: body, response, header map, two header entries'
+	// internal growth. The historical renderer took >100.
+	if got > 8 {
+		t.Errorf("RenderPage allocs/op = %.0f, want <= 8", got)
+	}
+}
+
+// TestRenderPageMatchesHistoricalRendering pins byte-identity of the
+// exact-size renderer against the original strings.Builder+Fprintf
+// formatting, which the golden artifacts were recorded under.
+func TestRenderPageMatchesHistoricalRendering(t *testing.T) {
+	c := Generate(Params{Sites: 40, Seed: 17})
+	for _, s := range c.Sites {
+		if !s.Responds {
+			continue
+		}
+		for _, day := range []int{0, 3, 37} {
+			var b strings.Builder
+			b.WriteString("<html><head>")
+			for _, o := range s.ObjectsOn(day) {
+				switch o.Kind {
+				case KindJS:
+					fmt.Fprintf(&b, `<script src="%s" data-hash=%q></script>`, "//"+o.Name, o.Hash)
+				case KindCSS:
+					fmt.Fprintf(&b, `<link rel="stylesheet" href="%s">`, "//"+o.Name)
+				case KindImg:
+					fmt.Fprintf(&b, `<img src="%s">`, "//"+o.Name)
+				}
+			}
+			b.WriteString("</head><body>")
+			fmt.Fprintf(&b, "<h1>%s (rank %d)</h1>", s.Host, s.Rank)
+			b.WriteString("</body></html>")
+			if got := string(s.RenderPage(day).Body); got != b.String() {
+				t.Fatalf("site %s day %d: rendered bytes diverge from historical formatting", s.Host, day)
+			}
 		}
 	}
 }
