@@ -34,13 +34,13 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 ## bench-json: run the full benchmark suite and refresh the machine-
-## readable trajectory in BENCH_3.json — the recorded pre-PR baseline is
+## readable trajectory in BENCH_4.json — the recorded pre-PR baseline is
 ## preserved, "current" is replaced, and per-benchmark speedups are
 ## recomputed (see cmd/benchjson)
 bench-json:
 	@tmp=$$(mktemp) && \
 	{ $(GO) test -bench=. -benchmem -run='^$$' . > $$tmp && \
-	  $(GO) run ./cmd/benchjson -pr 3 -update BENCH_3.json < $$tmp; } ; \
+	  $(GO) run ./cmd/benchjson -pr 4 -update BENCH_4.json < $$tmp; } ; \
 	status=$$?; rm -f $$tmp; exit $$status
 
 ## bench-smoke: every benchmark exactly once, as a does-it-run gate

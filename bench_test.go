@@ -129,6 +129,11 @@ func BenchmarkCountermeasures(b *testing.B) {
 
 // --- §VI-C covert channel throughput (the 100 KB/s claim) -------------
 
+// cncPayloadSize is the command volume each C&C benchmark op moves; the
+// sequential-vs-parallel pairs mirror the Fleet ones so the concurrency
+// win stays measurable through refactors.
+const cncPayloadSize = 16 * 1024
+
 func benchCNCDownstream(b *testing.B, concurrency int) {
 	b.Helper()
 	master := cnc.NewMasterServer()
@@ -137,8 +142,10 @@ func benchCNCDownstream(b *testing.B, concurrency int) {
 		b.Fatal(err)
 	}
 	defer func() { _ = shutdown() }()
-	payload := bytes.Repeat([]byte("X"), 16*1024)
+	payload := bytes.Repeat([]byte("X"), cncPayloadSize)
 	ctx := context.Background()
+	// MB/s counts the true payload volume decoded per op — the command
+	// bytes the covert images carry, not the ~25x larger SVG wire cost.
 	b.SetBytes(int64(len(payload)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -154,24 +161,30 @@ func benchCNCDownstream(b *testing.B, concurrency int) {
 func BenchmarkCNC_Downstream(b *testing.B)           { benchCNCDownstream(b, 16) }
 func BenchmarkCNC_DownstreamSequential(b *testing.B) { benchCNCDownstream(b, 1) }
 
-func BenchmarkCNC_Upstream(b *testing.B) {
+func benchCNCUpstream(b *testing.B, concurrency int) {
+	b.Helper()
 	master := cnc.NewMasterServer()
 	base, shutdown, err := master.Serve()
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer func() { _ = shutdown() }()
-	payload := bytes.Repeat([]byte("X"), 16*1024)
+	payload := bytes.Repeat([]byte("X"), cncPayloadSize)
 	ctx := context.Background()
+	// MB/s counts the exfiltrated payload bytes per op, excluding the
+	// base64 URL expansion.
 	b.SetBytes(int64(len(payload)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		bot := &cnc.Bot{BaseURL: base, ID: fmt.Sprintf("up-%d", i), Concurrency: 16}
+		bot := &cnc.Bot{BaseURL: base, ID: fmt.Sprintf("up%d-%d", concurrency, i), Concurrency: concurrency}
 		if err := bot.Upload(ctx, "s", payload); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+func BenchmarkCNC_Upstream(b *testing.B)           { benchCNCUpstream(b, 16) }
+func BenchmarkCNC_UpstreamSequential(b *testing.B) { benchCNCUpstream(b, 1) }
 
 // --- design-choice ablations -------------------------------------------
 

@@ -1,8 +1,7 @@
 package attacker
 
 import (
-	"net/http"
-	"net/http/httptest"
+	"time"
 
 	"masterparasite/internal/cnc"
 	"masterparasite/internal/httpsim"
@@ -12,20 +11,21 @@ import (
 // CNCAdapter serves a cnc.MasterServer over httpsim, so the same covert
 // protocol runs both on a real loopback socket (cnc package, cmd/master)
 // and inside the packet simulation (Fig. 4's "establish C&C connection").
+// It dispatches straight into the server's transport-independent Route,
+// skipping the net/http request and response-recorder scaffolding the
+// simulation used to pay for on every covert image; the header policy is
+// shared with ServeHTTP through cnc.SetResponseHeaders, so the two
+// transports stay byte-identical on the wire.
 func CNCAdapter(m *cnc.MasterServer) httpsim.HandlerFunc {
 	return func(req *httpsim.Request) *httpsim.Response {
-		httpReq, err := http.NewRequest(http.MethodGet, "http://master"+req.Path, nil)
-		if err != nil {
-			return httpsim.NewResponse(400, nil)
+		if m.Delay > 0 {
+			// Honour the per-request service-delay knob exactly as the
+			// net/http path does.
+			time.Sleep(m.Delay)
 		}
-		rec := httptest.NewRecorder()
-		m.ServeHTTP(rec, httpReq)
-		out := httpsim.NewResponse(rec.Code, rec.Body.Bytes())
-		for k, vs := range rec.Header() {
-			if len(vs) > 0 {
-				out.Header.Set(k, vs[0])
-			}
-		}
+		status, ctype, body := m.Route(req.Path, nil)
+		out := httpsim.NewResponse(status, body)
+		cnc.SetResponseHeaders(status, ctype, out.Header.Set)
 		return out
 	}
 }

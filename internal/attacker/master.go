@@ -205,19 +205,26 @@ func (m *Master) tryUnseal(b []byte) ([]byte, bool) {
 }
 
 // inject races the spoofed response against the genuine server, splitting
-// it into MSS-sized spoofed segments.
+// it into MSS-sized spoofed segments marshalled directly into pooled
+// frames.
 func (m *Master) inject(o tcpsim.Observed, resp *httpsim.Response, sealed bool, host string) {
 	wire := resp.Marshal()
 	if sealed {
 		wire = httpsim.XORSealer{Key: httpsim.HostKey(host)}.Seal(wire)
 	}
+	tmpl := tcpsim.SpoofSegment(o)
+	tap := m.sniffer.Tap()
 	const mss = tcpsim.DefaultMSS
 	for off := 0; off < len(wire); off += mss {
 		end := off + mss
 		if end > len(wire) {
 			end = len(wire)
 		}
-		m.sniffer.Tap().Inject(tcpsim.SpoofReplyAt(o, off, wire[off:end]))
+		seg := tmpl
+		seg.Seq = tcpsim.SeqAdd(tmpl.Seq, off)
+		seg.Payload = wire[off:end]
+		tap.InjectPayload(o.Dst, o.Src, netsim.ProtoTCP,
+			func(dst []byte) []byte { return seg.AppendMarshal(dst) })
 	}
 	m.stats.Injections++
 }

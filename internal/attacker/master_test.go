@@ -2,6 +2,8 @@ package attacker
 
 import (
 	"bytes"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -271,5 +273,34 @@ func TestTargetsListing(t *testing.T) {
 	m.AddTarget(Target{Name: "b.com/2.js"})
 	if got := len(m.Targets()); got != 2 {
 		t.Fatalf("targets = %d", got)
+	}
+}
+
+func TestCNCAdapterMirrorsServeHTTPWire(t *testing.T) {
+	// The in-simulation adapter and the real-socket handler must put the
+	// same status, headers, and body on the wire — the flows artifact's
+	// traced frame sizes depend on it.
+	m := cnc.NewMasterServer()
+	m.QueueCommand("b", []byte("hi"))
+	adapter := CNCAdapter(m)
+	for _, path := range []string{
+		"/meta/b.svg", "/img/b/1/0.svg", "/img/b/1/99.svg",
+		"/batch/b/1/0/1.svg", "/up/b/s/0/aGk", "/up/b/s/fin", "/nope",
+	} {
+		sim := adapter(httpsim.NewRequest("GET", "master.evil", path))
+		rec := httptest.NewRecorder()
+		m.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if sim.StatusCode != rec.Code || !bytes.Equal(sim.Body, rec.Body.Bytes()) {
+			t.Fatalf("%s: adapter (%d, %q) != ServeHTTP (%d, %q)",
+				path, sim.StatusCode, sim.Body, rec.Code, rec.Body.Bytes())
+		}
+		for k, vs := range rec.Header() {
+			if k == "Content-Length" || k == "Date" {
+				continue
+			}
+			if got := sim.Header.Get(k); len(vs) > 0 && got != vs[0] {
+				t.Fatalf("%s: header %s = %q, ServeHTTP %q", path, k, got, vs[0])
+			}
+		}
 	}
 }

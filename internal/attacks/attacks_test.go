@@ -85,6 +85,7 @@ func (l *lab) command(cmd string) { l.s.CNC.QueueCommand("bot-v", []byte(cmd)) }
 func (l *lab) loot(stream string) ([]byte, bool) { return l.s.CNC.Upload("bot-v", stream) }
 
 func TestCatalogCoversTableV(t *testing.T) {
+	t.Parallel()
 	cat := attacks.Catalog()
 	if len(cat) != 17 {
 		t.Fatalf("catalog = %d rows", len(cat))
@@ -116,6 +117,7 @@ func TestCatalogCoversTableV(t *testing.T) {
 }
 
 func TestStealLoginFromBank(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	l.command("steal-login|")
 	page := l.visit(l.bank.Host, "/", func(p *browser.Page) { l.bank.Wire(p, nil) })
@@ -146,6 +148,7 @@ func TestStealLoginFromBank(t *testing.T) {
 }
 
 func TestFakeLoginWhenAlreadyLoggedIn(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	login(t, l)
 	l.command("steal-login|")
@@ -190,6 +193,7 @@ func setAndSubmit(t *testing.T, page *browser.Page, formID string, values map[st
 }
 
 func TestTransactionManipulationAnd2FABypass(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	login(t, l)
 
@@ -234,6 +238,7 @@ func TestTransactionManipulationAnd2FABypass(t *testing.T) {
 }
 
 func TestWebsiteDataReadsEmails(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	// Log into webmail.
 	page := l.visit(l.mail.Host, "/", func(p *browser.Page) { l.mail.Wire(p, nil) })
@@ -252,6 +257,7 @@ func TestWebsiteDataReadsEmails(t *testing.T) {
 }
 
 func TestWebsiteDataReadsBankBalance(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	login(t, l)
 	l.command("website-data|")
@@ -263,6 +269,7 @@ func TestWebsiteDataReadsBankBalance(t *testing.T) {
 }
 
 func TestSendPhishingThroughChat(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	l.command("send-phishing|urgent: click evil.example/login")
 	l.visit(l.chat.Host, "/", func(p *browser.Page) { l.chat.Wire(p, nil) })
@@ -281,6 +288,7 @@ func TestSendPhishingThroughChat(t *testing.T) {
 }
 
 func TestBrowserDataExfiltration(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	l.s.Victim.LocalStorage(l.chat.Host)["jwt"] = "eyJ-token"
 	l.s.Victim.Cookies().Set(l.chat.Host, "theme", "dark")
@@ -297,6 +305,7 @@ func TestBrowserDataExfiltration(t *testing.T) {
 }
 
 func TestPersonalDataRequiresPermission(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	l.command("personal-data|microphone")
 	l.visit(l.chat.Host, "/", nil)
@@ -313,6 +322,7 @@ func TestPersonalDataRequiresPermission(t *testing.T) {
 }
 
 func TestStealComputeMines(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	l.command("steal-compute|500")
 	l.visit(l.chat.Host, "/", nil)
@@ -323,6 +333,7 @@ func TestStealComputeMines(t *testing.T) {
 }
 
 func TestClickjackingAndAdInjection(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	l.command("clickjacking|bait.example/prize")
 	page := l.visit(l.chat.Host, "/", nil)
@@ -343,6 +354,7 @@ func TestClickjackingAndAdInjection(t *testing.T) {
 }
 
 func TestDDoSFloodsTarget(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	l.s.AddPage("victim-site.example", "/", "<html><body>up</body></html>",
 		map[string]string{"Cache-Control": "no-store"})
@@ -361,6 +373,7 @@ func TestDDoSFloodsTarget(t *testing.T) {
 }
 
 func TestSpectreReadsPlantedSecret(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	l.s.Victim.LocalStorage(l.chat.Host)["spectre-secret"] = "LAYOUT:0xdeadbeef"
 	l.command("spectre|")
@@ -372,6 +385,7 @@ func TestSpectreReadsPlantedSecret(t *testing.T) {
 }
 
 func TestRowhammerNeedsVulnerableDRAM(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	l.command("rowhammer|5000")
 	l.visit(l.chat.Host, "/", nil)
@@ -387,6 +401,7 @@ func TestRowhammerNeedsVulnerableDRAM(t *testing.T) {
 }
 
 func TestZeroDayStagesPayload(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	// The payload host is attacker-controlled, so it serves permissive
 	// CORS headers and the parasite can read the exploit bytes.
@@ -401,6 +416,7 @@ func TestZeroDayStagesPayload(t *testing.T) {
 }
 
 func TestInternalNetworkScan(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	// Two internal devices exist; one candidate does not resolve.
 	l.s.AddPage("router.local", "/favicon.ico", "icon", nil)
@@ -421,6 +437,7 @@ func TestInternalNetworkScan(t *testing.T) {
 }
 
 func TestDDoSInternal(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	l.s.AddPage("iot-cam.local", "/", "cam", map[string]string{"Cache-Control": "no-store"})
 	l.command("ddos-internal|iot-cam.local|10")
@@ -431,6 +448,7 @@ func TestDDoSInternal(t *testing.T) {
 }
 
 func TestSideChannelBetweenTabs(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	l.command("side-channel|send")
 	l.visit(l.chat.Host, "/", nil)
@@ -442,6 +460,7 @@ func TestSideChannelBetweenTabs(t *testing.T) {
 }
 
 func TestModuleErrorsDoNotBreakPage(t *testing.T) {
+	t.Parallel()
 	l := newLab(t)
 	l.command("bypass-2fa|x") // no pending confirmation on this page
 	page := l.visit(l.chat.Host, "/", nil)

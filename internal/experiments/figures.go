@@ -113,8 +113,8 @@ func CNCThroughput(env artifact.Env) (*artifact.Result, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 
-	measure := func(tag string, data []byte, conc int) (float64, error) {
-		bot := &cnc.Bot{BaseURL: base, ID: fmt.Sprintf("bot-%s", tag), Concurrency: conc}
+	measure := func(tag string, data []byte, conc, batch int) (float64, error) {
+		bot := &cnc.Bot{BaseURL: base, ID: fmt.Sprintf("bot-%s", tag), Concurrency: conc, BatchSize: batch}
 		master.QueueCommand(bot.ID, data)
 		start := time.Now()
 		got, _, ok, err := bot.Poll(ctx)
@@ -128,20 +128,22 @@ func CNCThroughput(env artifact.Env) (*artifact.Result, error) {
 	}
 
 	data := bytes.Repeat([]byte("C"), payload)
-	loopback, err := measure("raw", data, 16)
+	loopback, err := measure("raw", data, 16, 0) // sprite-batched bulk path
 	if err != nil {
 		return nil, err
 	}
 
 	// RTT-bound comparison on a smaller payload (sequential at 1 ms per
-	// request is slow by design — that is the point).
+	// request is slow by design — that is the point). Batching is pinned
+	// to one image per request here: the paper's concurrency claim is
+	// about a browser issuing many *individual* image fetches at once.
 	master.Delay = time.Millisecond
 	small := bytes.Repeat([]byte("c"), 2048)
-	rttConc, err := measure("rtt-conc", small, 16)
+	rttConc, err := measure("rtt-conc", small, 16, 1)
 	if err != nil {
 		return nil, err
 	}
-	rttSeq, err := measure("rtt-seq", small, 1)
+	rttSeq, err := measure("rtt-seq", small, 1, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -211,10 +213,11 @@ func MessageFlows(artifact.Env) (*artifact.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var events []netsim.TraceEvent
+	tl := netsim.NewTraceLog()
+	defer tl.Release()
 	s.Net.SetTrace(func(e netsim.TraceEvent) {
 		if !e.Tapped {
-			events = append(events, e)
+			tl.Append(e)
 		}
 	})
 	s.AddPage("somesite.com", "/", `<html><body><script src="/my.js"></script></body></html>`,
@@ -238,12 +241,12 @@ func MessageFlows(artifact.Env) (*artifact.Result, error) {
 	// Phase 1 (Fig. 1): eviction. Phase 2 (Fig. 2): infection +
 	// propagation. Phase 3 (Fig. 4): C&C from the home network.
 	phase := func(name string, fn func() error) (FlowPhase, error) {
-		events = events[:0]
+		tl.Reset()
 		if err := fn(); err != nil {
 			return FlowPhase{}, err
 		}
 		p := FlowPhase{Name: name}
-		for _, e := range events {
+		for _, e := range tl.Events() {
 			p.Events = append(p.Events, FlowEvent{
 				TimeMs: float64(e.Time.Microseconds()) / 1000,
 				Src:    string(e.Src), Dst: string(e.Dst), Bytes: e.Size,

@@ -9,12 +9,19 @@
 // a packet schedules delivery events, and Network.Run drains the event
 // queue in timestamp order. Equal timestamps are broken by scheduling
 // order, which makes every experiment reproducible.
+//
+// The data plane is allocation-free in steady state: payloads live in
+// pooled, ref-counted frame buffers shared by a packet's deliveries
+// (copy-on-tap keeps eavesdroppers isolated from receiver mutation), and
+// events live in a slab ordered by an index-based 4-ary heap. Payload
+// slices handed to a Handler are therefore only valid for the duration of
+// the call — a receiver that retains bytes must copy them (Packet.Clone).
 package netsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -53,7 +60,7 @@ type Packet struct {
 }
 
 // Clone returns a deep copy of the packet so that receivers may retain or
-// mutate payloads without aliasing the sender's buffer.
+// mutate payloads without aliasing the delivery frame's pooled buffer.
 func (p Packet) Clone() Packet {
 	cp := p
 	cp.Payload = make([]byte, len(p.Payload))
@@ -61,7 +68,9 @@ func (p Packet) Clone() Packet {
 	return cp
 }
 
-// Handler receives a packet at virtual time now.
+// Handler receives a packet at virtual time now. The payload is only valid
+// for the duration of the call: it aliases a pooled frame buffer that is
+// recycled once every delivery of the frame has run.
 type Handler func(now time.Duration, pkt Packet)
 
 // TraceEvent records one delivery for message-flow rendering (Fig. 1, 2
@@ -76,49 +85,72 @@ type TraceEvent struct {
 	Tapped  bool // delivered to an eavesdropper tap, not the addressee
 }
 
-// event is a scheduled callback.
+// TraceLog is a pooled, pre-sized arena for captured trace events, so
+// repeated capture phases (the message-flow artifact renders three) append
+// into reused backing storage instead of regrowing a fresh slice.
+type TraceLog struct {
+	events []TraceEvent
+}
+
+var traceLogPool = sync.Pool{
+	New: func() any { return &TraceLog{events: make([]TraceEvent, 0, 512)} },
+}
+
+// NewTraceLog returns an arena from the pool.
+func NewTraceLog() *TraceLog { return traceLogPool.Get().(*TraceLog) }
+
+// Append records one event.
+func (l *TraceLog) Append(e TraceEvent) { l.events = append(l.events, e) }
+
+// Events returns the captured events; the slice is valid until the next
+// Reset or Release.
+func (l *TraceLog) Events() []TraceEvent { return l.events }
+
+// Reset discards captured events, keeping the arena's capacity.
+func (l *TraceLog) Reset() { l.events = l.events[:0] }
+
+// Release resets the arena and returns it to the pool.
+func (l *TraceLog) Release() {
+	l.Reset()
+	traceLogPool.Put(l)
+}
+
+// frame is one transmitted payload, shared (ref-counted) by all of the
+// packet's scheduled deliveries and recycled through the network's pool
+// when the last delivery has run.
+type frame struct {
+	pkt  Packet // Payload is a capacity-capped view of buf
+	buf  []byte // pooled backing storage, full capacity retained
+	seg  *Segment
+	refs int
+}
+
+// event is a scheduled callback or frame delivery, stored in the network's
+// slab. Exactly one of fn, ifc, tap is set.
 type event struct {
 	at  time.Duration
 	seq uint64
-	fn  func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
-	}
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+	fn  func()     // generic callback (Network.Schedule)
+	fr  *frame     // payload for a delivery event
+	ifc *Interface // unicast delivery target
+	tap *Tap       // tap delivery target
 }
 
 // Network owns the virtual clock and the event queue. The zero value is
 // not usable; create networks with New.
 type Network struct {
-	now      time.Duration
-	seq      uint64
-	queue    eventQueue
+	now time.Duration
+	seq uint64
+
+	// Event storage: a slab of records plus an index-based 4-ary heap
+	// ordered by (at, seq). Popped slots go on the free list, so the
+	// steady state schedules without allocating.
+	events []event
+	free   []int32
+	heap   []int32
+
+	framePool []*frame
+
 	segments map[string]*Segment
 	trace    func(TraceEvent)
 
@@ -140,29 +172,173 @@ func (n *Network) Delivered() int { return n.delivered }
 // SetTrace installs a delivery trace hook. A nil hook disables tracing.
 func (n *Network) SetTrace(fn func(TraceEvent)) { n.trace = fn }
 
+// push stores ev in the slab and sifts its index up the heap.
+func (n *Network) push(ev event) {
+	n.seq++
+	ev.seq = n.seq
+	var idx int32
+	if k := len(n.free); k > 0 {
+		idx = n.free[k-1]
+		n.free = n.free[:k-1]
+		n.events[idx] = ev
+	} else {
+		idx = int32(len(n.events))
+		n.events = append(n.events, ev)
+	}
+	n.heap = append(n.heap, idx)
+	n.siftUp(len(n.heap) - 1)
+}
+
+// before orders heap entries by timestamp, then scheduling order.
+func (n *Network) before(a, b int32) bool {
+	ea, eb := &n.events[a], &n.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (n *Network) siftUp(i int) {
+	h := n.heap
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !n.before(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (n *Network) siftDown(i int) {
+	h := n.heap
+	for {
+		first := 4*i + 1
+		if first >= len(h) {
+			return
+		}
+		best := first
+		last := first + 4
+		if last > len(h) {
+			last = len(h)
+		}
+		for c := first + 1; c < last; c++ {
+			if n.before(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !n.before(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// popMin removes and returns the slab index of the earliest event.
+func (n *Network) popMin() int32 {
+	h := n.heap
+	root := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	n.heap = h[:last]
+	if last > 0 {
+		n.siftDown(0)
+	}
+	return root
+}
+
+// acquireFrame fills a pooled frame with the payload produced by fill
+// (which appends to its argument and returns the result).
+func (n *Network) acquireFrame(seg *Segment, src, dst Addr, proto Protocol, fill func([]byte) []byte) *frame {
+	var fr *frame
+	if k := len(n.framePool); k > 0 {
+		fr = n.framePool[k-1]
+		n.framePool = n.framePool[:k-1]
+	} else {
+		fr = &frame{}
+	}
+	buf := fill(fr.buf[:0])
+	fr.buf = buf
+	// Hand receivers a capacity-capped view so a stray append cannot
+	// scribble on the pooled storage.
+	fr.pkt = Packet{Src: src, Dst: dst, Proto: proto, Payload: buf[:len(buf):len(buf)]}
+	fr.seg = seg
+	return fr
+}
+
+// releaseFrame returns the frame's buffer to the pool once its last
+// delivery has run.
+func (n *Network) releaseFrame(fr *frame) {
+	fr.refs--
+	if fr.refs > 0 {
+		return
+	}
+	fr.seg = nil
+	n.framePool = append(n.framePool, fr)
+}
+
 // Schedule runs fn at virtual time now+d. A non-positive d runs fn on the
 // next queue drain, still after all events already due.
 func (n *Network) Schedule(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	n.seq++
-	heap.Push(&n.queue, &event{at: n.now + d, seq: n.seq, fn: fn})
+	n.push(event{at: n.now + d, fn: fn})
 }
 
 // Step executes the next pending event and returns false when the queue is
 // empty.
 func (n *Network) Step() bool {
-	if n.queue.Len() == 0 {
+	if len(n.heap) == 0 {
 		return false
 	}
-	ev, ok := heap.Pop(&n.queue).(*event)
-	if !ok {
-		return false
-	}
+	idx := n.popMin()
+	ev := n.events[idx]
+	n.events[idx] = event{} // drop fn/frame references for reuse
+	n.free = append(n.free, idx)
 	n.now = ev.at
-	ev.fn()
+	switch {
+	case ev.ifc != nil:
+		n.deliver(ev.fr, ev.ifc)
+	case ev.tap != nil:
+		n.deliverTap(ev.fr, ev.tap)
+	default:
+		ev.fn()
+	}
 	return true
+}
+
+// deliver runs a unicast delivery and releases the frame reference.
+func (n *Network) deliver(fr *frame, target *Interface) {
+	if !target.dropRx && target.handler != nil {
+		n.delivered++
+		if n.trace != nil {
+			n.trace(TraceEvent{
+				Time: n.now, Segment: fr.seg.name,
+				Src: fr.pkt.Src, Dst: fr.pkt.Dst,
+				Proto: fr.pkt.Proto, Size: len(fr.pkt.Payload),
+			})
+		}
+		target.handler(n.now, fr.pkt)
+	}
+	n.releaseFrame(fr)
+}
+
+// deliverTap runs a promiscuous delivery and releases the frame reference.
+func (n *Network) deliverTap(fr *frame, target *Tap) {
+	if target.handler != nil {
+		if n.trace != nil {
+			n.trace(TraceEvent{
+				Time: n.now, Segment: fr.seg.name,
+				Src: fr.pkt.Src, Dst: fr.pkt.Dst,
+				Proto: fr.pkt.Proto, Size: len(fr.pkt.Payload),
+				Tapped: true,
+			})
+		}
+		target.handler(n.now, fr.pkt)
+	}
+	n.releaseFrame(fr)
 }
 
 // Run drains the event queue. Events may schedule further events; Run
@@ -182,7 +358,7 @@ func (n *Network) Run(maxEvents int) int {
 // RunUntil drains events with timestamps no later than deadline.
 func (n *Network) RunUntil(deadline time.Duration) int {
 	executed := 0
-	for n.queue.Len() > 0 && n.queue[0].at <= deadline {
+	for len(n.heap) > 0 && n.events[n.heap[0]].at <= deadline {
 		if !n.Step() {
 			break
 		}
@@ -301,13 +477,21 @@ func (i *Interface) SetReceiveDrop(drop bool) { i.dropRx = drop }
 // spoofed sending is required, in which case use SendSpoofed.
 func (i *Interface) Send(pkt Packet) {
 	pkt.Src = i.addr
-	i.seg.transmit(i.delay, pkt, false)
+	i.seg.transmit(i.delay, pkt)
 }
 
 // SendSpoofed transmits a frame preserving whatever source address the
 // caller set. Injected attack segments use this to impersonate the server.
 func (i *Interface) SendSpoofed(pkt Packet) {
-	i.seg.transmit(i.delay, pkt, true)
+	i.seg.transmit(i.delay, pkt)
+}
+
+// SendPayload transmits a frame whose payload is produced by fill, which
+// must append the wire bytes to its argument and return the result. The
+// bytes land directly in a pooled frame buffer, so hot senders (the TCP
+// stack) marshal exactly once with no intermediate allocation.
+func (i *Interface) SendPayload(dst Addr, proto Protocol, fill func([]byte) []byte) {
+	i.seg.transmitPayload(i.delay, i.addr, dst, proto, fill)
 }
 
 // Tap is a promiscuous observer that may also inject spoofed frames.
@@ -320,63 +504,70 @@ type Tap struct {
 // Inject transmits a frame with an arbitrary (spoofed) source address.
 func (t *Tap) Inject(pkt Packet) {
 	t.seg.net.injected++
-	t.seg.transmit(t.delay, pkt, true)
+	t.seg.transmit(t.delay, pkt)
 }
 
-// InjectAfter transmits a spoofed frame after an additional delay.
+// InjectPayload transmits a spoofed frame whose payload is produced by
+// fill (see Interface.SendPayload) — the injection fast path of the
+// master's TCP spoofing module.
+func (t *Tap) InjectPayload(src, dst Addr, proto Protocol, fill func([]byte) []byte) {
+	t.seg.net.injected++
+	t.seg.transmitPayload(t.delay, src, dst, proto, fill)
+}
+
+// InjectAfter transmits a spoofed frame after an additional delay. The
+// payload must remain valid until the frame goes out.
 func (t *Tap) InjectAfter(d time.Duration, pkt Packet) {
 	t.seg.net.injected++
-	t.seg.net.Schedule(d, func() { t.seg.transmit(t.delay, pkt, true) })
+	t.seg.net.Schedule(d, func() { t.seg.transmit(t.delay, pkt) })
 }
 
 // Injected reports how many frames were injected network-wide.
 func (n *Network) Injected() int { return n.injected }
 
-// transmit schedules delivery of pkt to the addressee and to all taps.
-func (s *Segment) transmit(senderDelay time.Duration, pkt Packet, spoofed bool) {
+// transmit schedules delivery of pkt to the addressee and to all taps,
+// copying the payload into a pooled frame.
+func (s *Segment) transmit(senderDelay time.Duration, pkt Packet) {
+	s.transmitPayload(senderDelay, pkt.Src, pkt.Dst, pkt.Proto,
+		func(dst []byte) []byte { return append(dst, pkt.Payload...) })
+}
+
+// transmitPayload is the shared transmit path: one pooled frame serves the
+// unicast delivery zero-copy; taps observe a copy-on-tap duplicate so a
+// receiver that mutates its payload cannot alter what the eavesdropper
+// (or the genuine addressee) sees.
+func (s *Segment) transmitPayload(senderDelay time.Duration, src, dst Addr, proto Protocol, fill func([]byte) []byte) {
 	if s.down {
 		return
 	}
-	_ = spoofed
-	frame := pkt.Clone()
+	var target *Interface
 	for _, ifc := range s.ifaces {
-		if ifc.addr != pkt.Dst {
-			continue
+		if ifc.addr == dst {
+			target = ifc
+			break
 		}
-		target := ifc
-		d := senderDelay + s.latency + target.delay
-		s.net.Schedule(d, func() {
-			if target.dropRx || target.handler == nil {
-				return
-			}
-			s.net.delivered++
-			if s.net.trace != nil {
-				s.net.trace(TraceEvent{
-					Time: s.net.now, Segment: s.name,
-					Src: frame.Src, Dst: frame.Dst,
-					Proto: frame.Proto, Size: len(frame.Payload),
-				})
-			}
-			target.handler(s.net.now, frame.Clone())
-		})
+	}
+	if target == nil && len(s.taps) == 0 {
+		return
+	}
+	main := s.net.acquireFrame(s, src, dst, proto, fill)
+	tapFr := main
+	if target != nil {
+		main.refs = 1
+		if len(s.taps) > 0 {
+			pay := main.pkt.Payload
+			tapFr = s.net.acquireFrame(s, src, dst, proto,
+				func(dst []byte) []byte { return append(dst, pay...) })
+		}
+	}
+	if tapFr != main || target == nil {
+		tapFr.refs = len(s.taps)
+	}
+	if target != nil {
+		s.net.push(event{at: s.net.now + senderDelay + s.latency + target.delay, fr: main, ifc: target})
 	}
 	for _, tap := range s.taps {
-		target := tap
-		d := senderDelay + s.latency + target.delay
-		s.net.Schedule(d, func() {
-			if target.handler == nil {
-				return
-			}
-			if s.net.trace != nil {
-				s.net.trace(TraceEvent{
-					Time: s.net.now, Segment: s.name,
-					Src: frame.Src, Dst: frame.Dst,
-					Proto: frame.Proto, Size: len(frame.Payload),
-					Tapped: true,
-				})
-			}
-			target.handler(s.net.now, frame.Clone())
-		})
+		s.net.push(event{at: s.net.now + senderDelay + s.latency + tap.delay, fr: tapFr, tap: tap})
 	}
 }
 
@@ -402,8 +593,10 @@ func NewRouter(addr Addr, segA, segB *Segment, delay time.Duration) (*Router, er
 	}
 	fwd := func(to *Segment) Handler {
 		return func(_ time.Duration, pkt Packet) {
-			out := pkt // keep the original (possibly spoofed) source
-			to.net.Schedule(0, func() { to.transmit(delay, out, true) })
+			// The delivery frame is recycled when this handler returns;
+			// clone before the deferred re-transmit.
+			out := pkt.Clone() // keep the original (possibly spoofed) source
+			to.net.Schedule(0, func() { to.transmit(delay, out) })
 		}
 	}
 	ifaceA, err := segA.Attach(addr, delay, nil)

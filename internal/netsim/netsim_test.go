@@ -315,3 +315,99 @@ func TestProtocolString(t *testing.T) {
 		}
 	}
 }
+
+func TestEmptyPayloadCloneDoesNotAlias(t *testing.T) {
+	// A zero-length payload carved from a larger buffer must not leak
+	// capacity into the clone: appending to the clone may never scribble
+	// on the original backing array.
+	backing := []byte("secret")
+	p := Packet{Src: "a", Dst: "b", Payload: backing[:0]}
+	c := p.Clone()
+	c.Payload = append(c.Payload, 'X')
+	if backing[0] != 's' {
+		t.Fatal("Clone of an empty payload aliases the original backing array")
+	}
+}
+
+func TestEmptyFrameInjectionStillTraces(t *testing.T) {
+	// Zero-length frames (bare ACK-style probes) must still be delivered
+	// and traced — the pooled frame path must not special-case them away.
+	n := New()
+	seg := n.MustSegment("wifi", 0)
+	delivered := 0
+	seg.MustAttach("dst", 0, func(_ time.Duration, p Packet) {
+		delivered++
+		if len(p.Payload) != 0 {
+			t.Errorf("payload = %q, want empty", p.Payload)
+		}
+	})
+	tapped := 0
+	seg.AttachTap(0, func(time.Duration, Packet) { tapped++ })
+	var events []TraceEvent
+	n.SetTrace(func(e TraceEvent) { events = append(events, e) })
+	tap := seg.AttachTap(0, nil)
+	tap.Inject(Packet{Src: "ghost", Dst: "dst", Proto: ProtoTCP})
+	n.Run(0)
+	if delivered != 1 || tapped != 1 {
+		t.Fatalf("delivered=%d tapped=%d, want 1/1", delivered, tapped)
+	}
+	if len(events) != 2 {
+		t.Fatalf("trace events = %d, want 2", len(events))
+	}
+	for _, e := range events {
+		if e.Size != 0 {
+			t.Fatalf("trace size = %d, want 0", e.Size)
+		}
+	}
+}
+
+func TestTapCopyIsolatedFromUnicastMutation(t *testing.T) {
+	// Copy-on-tap: the tap's view must survive even when the unicast
+	// receiver runs first and mutates its (zero-copy) payload.
+	n := New()
+	seg := n.MustSegment("wifi", 0)
+	seg.MustAttach("dst", 0, func(_ time.Duration, p Packet) { p.Payload[0] = 'X' })
+	var tapSaw []byte
+	seg.AttachTap(time.Millisecond, func(_ time.Duration, p Packet) {
+		tapSaw = append(tapSaw[:0], p.Payload...)
+	})
+	src := seg.MustAttach("src", 0, nil)
+	for i := 0; i < 3; i++ { // repeat so pooled frames get reused
+		src.Send(Packet{Dst: "dst", Payload: []byte("abc")})
+		n.Run(0)
+		if string(tapSaw) != "abc" {
+			t.Fatalf("round %d: tap saw %q, want abc", i, tapSaw)
+		}
+	}
+}
+
+// TestDeliveryAllocs locks the steady-state data plane at zero
+// allocations per delivered frame: pooled frames, slab events, no
+// closures on the delivery path. Skipped in -short mode: the CI race
+// detector perturbs counts.
+func TestDeliveryAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counts shift under -race; tier-1 runs this")
+	}
+	n := New()
+	seg := n.MustSegment("wifi", time.Millisecond)
+	got := 0
+	seg.MustAttach("dst", 0, func(_ time.Duration, p Packet) { got += len(p.Payload) })
+	seg.AttachTap(0, func(_ time.Duration, p Packet) { got += len(p.Payload) })
+	src := seg.MustAttach("src", 0, nil)
+	payload := make([]byte, 1460)
+	send := func() {
+		src.Send(Packet{Dst: "dst", Proto: ProtoTCP, Payload: payload})
+		n.Run(0)
+	}
+	for i := 0; i < 16; i++ {
+		send() // warm the frame pool and event slab
+	}
+	allocs := testing.AllocsPerRun(500, send)
+	if allocs > 0 {
+		t.Errorf("netsim delivery allocs/op = %.1f, want 0", allocs)
+	}
+	if got == 0 {
+		t.Fatal("no payload delivered")
+	}
+}

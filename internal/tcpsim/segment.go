@@ -76,18 +76,26 @@ const headerLen = 16
 // ErrShortSegment reports a payload too small to contain a header.
 var ErrShortSegment = errors.New("tcpsim: short segment")
 
-// Marshal encodes the segment into a fresh byte slice.
+// Marshal encodes the segment into a fresh, exact-size byte slice.
 func (s Segment) Marshal() []byte {
-	b := make([]byte, headerLen+len(s.Payload))
-	binary.BigEndian.PutUint16(b[0:2], s.SrcPort)
-	binary.BigEndian.PutUint16(b[2:4], s.DstPort)
-	binary.BigEndian.PutUint32(b[4:8], s.Seq)
-	binary.BigEndian.PutUint32(b[8:12], s.Ack)
-	b[12] = byte(s.Flags)
-	binary.BigEndian.PutUint16(b[13:15], s.Window)
-	b[15] = 0 // reserved
-	copy(b[headerLen:], s.Payload)
-	return b
+	return s.AppendMarshal(make([]byte, 0, headerLen+len(s.Payload)))
+}
+
+// AppendMarshal appends the segment's wire encoding to b and returns the
+// result. This is the transmit fast path: the stack marshals straight
+// into a pooled netsim frame buffer, so steady-state sends do not
+// allocate.
+func (s Segment) AppendMarshal(b []byte) []byte {
+	b = append(b,
+		byte(s.SrcPort>>8), byte(s.SrcPort),
+		byte(s.DstPort>>8), byte(s.DstPort),
+		byte(s.Seq>>24), byte(s.Seq>>16), byte(s.Seq>>8), byte(s.Seq),
+		byte(s.Ack>>24), byte(s.Ack>>16), byte(s.Ack>>8), byte(s.Ack),
+		byte(s.Flags),
+		byte(s.Window>>8), byte(s.Window),
+		0, // reserved
+	)
+	return append(b, s.Payload...)
 }
 
 // ParseSegment decodes a segment from wire bytes. The returned payload

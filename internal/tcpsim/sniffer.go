@@ -62,20 +62,22 @@ func (s *Sniffer) Stop() { s.onTC = nil }
 // in §V ("these fields he can adjust from the HTTP request packets that
 // the victim client sends").
 func SpoofReply(req Observed, payload []byte) netsim.Packet {
-	seg := Segment{
+	return SpoofReplyAt(req, 0, payload)
+}
+
+// SpoofSegment returns the header template of the spoofed reply to an
+// observed request: correct ports, sequence and acknowledgement numbers,
+// no payload. The master's injection loop stamps per-chunk Seq/Payload
+// onto copies of the template and marshals each straight into a pooled
+// frame.
+func SpoofSegment(req Observed) Segment {
+	return Segment{
 		SrcPort: req.Seg.DstPort,
 		DstPort: req.Seg.SrcPort,
 		Seq:     req.Seg.Ack,
 		Ack:     SeqAdd(req.Seg.Seq, len(req.Seg.Payload)),
 		Flags:   FlagACK | FlagPSH,
 		Window:  DefaultWindow,
-		Payload: payload,
-	}
-	return netsim.Packet{
-		Src:     req.Dst, // impersonate the server
-		Dst:     req.Src,
-		Proto:   netsim.ProtoTCP,
-		Payload: seg.Marshal(),
 	}
 }
 
@@ -83,12 +85,13 @@ func SpoofReply(req Observed, payload []byte) netsim.Packet {
 // sequence offset past the observed request's acknowledgement point,
 // allowing multi-segment injected responses.
 func SpoofReplyAt(req Observed, offset int, payload []byte) netsim.Packet {
-	pkt := SpoofReply(req, payload)
-	seg, err := ParseSegment(pkt.Payload)
-	if err != nil {
-		return pkt
-	}
+	seg := SpoofSegment(req)
 	seg.Seq = SeqAdd(seg.Seq, offset)
-	pkt.Payload = seg.Marshal()
-	return pkt
+	seg.Payload = payload
+	return netsim.Packet{
+		Src:     req.Dst, // impersonate the server
+		Dst:     req.Src,
+		Proto:   netsim.ProtoTCP,
+		Payload: seg.Marshal(),
+	}
 }

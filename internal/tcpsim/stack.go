@@ -161,7 +161,6 @@ func (s *Stack) Dial(dst netsim.Addr, dstPort uint16, onConnect func(*Conn)) (*C
 		state:     StateSynSent,
 		sndNxt:    s.isn(),
 		onConnect: onConnect,
-		rcvBuf:    make(map[uint32]byte),
 	}
 	c.iss = c.sndNxt
 	s.conns[key] = c
@@ -205,7 +204,6 @@ func (s *Stack) receive(_ time.Duration, pkt netsim.Packet) {
 			state:  StateSynReceived,
 			sndNxt: s.isn(),
 			rcvNxt: SeqAdd(seg.Seq, 1),
-			rcvBuf: make(map[uint32]byte),
 			accept: accept,
 		}
 		c.iss = c.sndNxt
@@ -242,7 +240,13 @@ type Conn struct {
 	iss    uint32 // initial send sequence
 	sndNxt uint32
 	rcvNxt uint32
-	rcvBuf map[uint32]byte
+
+	// Out-of-order receive window: byte i of rcvWin (valid when
+	// rcvHave[i]) is the payload byte at sequence rcvNxt+i. The arrays
+	// are scratch reused across segments — in-order traffic never touches
+	// them, and draining slides them down in place.
+	rcvWin  []byte
+	rcvHave []bool
 
 	lastAck uint32
 
@@ -327,11 +331,10 @@ func (c *Conn) sendSegment(seg Segment) {
 	seg.SrcPort = c.key.localPort
 	seg.DstPort = c.key.remotePort
 	c.stats.SegmentsOut++
-	c.stack.ifc.Send(netsim.Packet{
-		Dst:     c.key.remoteAddr,
-		Proto:   netsim.ProtoTCP,
-		Payload: seg.Marshal(),
-	})
+	// Marshal directly into the pooled netsim frame: exact size, single
+	// append, no intermediate wire buffer.
+	c.stack.ifc.SendPayload(c.key.remoteAddr, netsim.ProtoTCP,
+		func(dst []byte) []byte { return seg.AppendMarshal(dst) })
 }
 
 func (c *Conn) handle(seg Segment) {
@@ -383,7 +386,9 @@ func (c *Conn) handle(seg Segment) {
 }
 
 // ingest applies the window check and overlap policy, then delivers any
-// newly contiguous bytes.
+// newly contiguous bytes. The delivered slice is only valid during the
+// OnData callback: in-order payloads are handed through zero-copy from
+// the wire frame, buffered ones from the connection's window scratch.
 func (c *Conn) ingest(seg Segment) {
 	endSeq := SeqAdd(seg.Seq, len(seg.Payload))
 	d := SeqDiff(c.rcvNxt, seg.Seq) // segment start relative to rcvNxt
@@ -402,9 +407,17 @@ func (c *Conn) ingest(seg Segment) {
 		c.sendSegment(Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: DefaultWindow})
 		return
 	}
+	if d <= 0 && len(c.rcvHave) == 0 {
+		// In-order fast path (possibly with an already-delivered prefix):
+		// nothing is buffered, so the fresh suffix is contiguous at rcvNxt
+		// and can be delivered without touching the window scratch.
+		c.stats.DuplicateBytes += -d
+		c.deliver(seg.Payload[-d:])
+		return
+	}
 	for i, b := range seg.Payload {
-		pos := SeqAdd(seg.Seq, i)
-		if SeqLT(pos, c.rcvNxt) {
+		off := d + i // position relative to rcvNxt
+		if off < 0 {
 			// Already delivered to the application: the byte on the wire
 			// now is discarded regardless of policy. This is why the
 			// genuine response arriving after the injected one is
@@ -412,35 +425,50 @@ func (c *Conn) ingest(seg Segment) {
 			c.stats.DuplicateBytes++
 			continue
 		}
-		if _, have := c.rcvBuf[pos]; have {
+		for len(c.rcvHave) <= off {
+			c.rcvWin = append(c.rcvWin, 0)
+			c.rcvHave = append(c.rcvHave, false)
+		}
+		if c.rcvHave[off] {
 			switch c.stack.policy {
 			case LastWins:
-				c.rcvBuf[pos] = b
+				c.rcvWin[off] = b
 				c.stats.OverwrittenByte++
 			default: // FirstWins
 				c.stats.DuplicateBytes++
 			}
 			continue
 		}
-		c.rcvBuf[pos] = b
+		c.rcvWin[off] = b
+		c.rcvHave[off] = true
 	}
-	// Drain the contiguous prefix.
-	var delivered []byte
-	for {
-		b, ok := c.rcvBuf[c.rcvNxt]
-		if !ok {
-			break
-		}
-		delivered = append(delivered, b)
-		delete(c.rcvBuf, c.rcvNxt)
-		c.rcvNxt = SeqAdd(c.rcvNxt, 1)
+	// Drain the contiguous prefix, then slide the scratch down in place.
+	k := 0
+	for k < len(c.rcvHave) && c.rcvHave[k] {
+		k++
 	}
-	if len(delivered) > 0 {
-		c.stats.BytesDelivered += len(delivered)
-		c.sendSegment(Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: DefaultWindow})
-		if c.onData != nil {
-			c.onData(delivered)
-		}
+	if k == 0 {
+		return
+	}
+	c.deliver(c.rcvWin[:k])
+	rem := len(c.rcvHave) - k
+	copy(c.rcvWin, c.rcvWin[k:])
+	copy(c.rcvHave, c.rcvHave[k:])
+	c.rcvWin = c.rcvWin[:rem]
+	c.rcvHave = c.rcvHave[:rem]
+}
+
+// deliver acknowledges and hands a non-empty contiguous payload to the
+// application callback.
+func (c *Conn) deliver(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	c.rcvNxt = SeqAdd(c.rcvNxt, len(data))
+	c.stats.BytesDelivered += len(data)
+	c.sendSegment(Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: DefaultWindow})
+	if c.onData != nil {
+		c.onData(data)
 	}
 }
 

@@ -474,3 +474,49 @@ func TestSegmentMarshalAllocs(t *testing.T) {
 		t.Errorf("Segment.Marshal allocs/op = %.0f, want 1", got)
 	}
 }
+
+// TestSegmentRoundTripAllocs locks the steady-state transport data plane:
+// a full data segment marshalled into a pooled netsim frame, delivered,
+// ingested in order, and acknowledged — with zero allocations per round
+// trip. Skipped in -short mode: the CI race detector perturbs counts.
+func TestSegmentRoundTripAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counts shift under -race; tier-1 runs this")
+	}
+	net := netsim.New()
+	seg := net.MustSegment("lan", time.Millisecond)
+	a := NewStack(net, seg.MustAttach("a", 0, nil), WithSeed(1))
+	b := NewStack(net, seg.MustAttach("b", 0, nil), WithSeed(2))
+	received := 0
+	if err := b.Listen(80, func(c *Conn) {
+		c.OnData(func(data []byte) { received += len(data) })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var conn *Conn
+	if _, err := a.Dial("b", 80, func(c *Conn) { conn = c }); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	if conn == nil || conn.State() != StateEstablished {
+		t.Fatal("handshake did not complete")
+	}
+	payload := bytes.Repeat([]byte("p"), DefaultMSS)
+	send := func() {
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		net.Run(0)
+	}
+	for i := 0; i < 16; i++ {
+		send() // warm the frame pool and event slab
+	}
+	before := received
+	allocs := testing.AllocsPerRun(200, send)
+	if allocs > 0 {
+		t.Errorf("segment round-trip allocs/op = %.1f, want 0", allocs)
+	}
+	if received <= before {
+		t.Fatal("no data delivered during measurement")
+	}
+}
