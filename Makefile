@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt-check test test-short race bench bench-json bench-smoke artifacts ci
+.PHONY: build vet fmt-check doclint test test-short race bench bench-json bench-smoke artifacts ci
 
 ## build: compile every package and command
 build:
@@ -16,6 +16,10 @@ fmt-check:
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+
+## doclint: fail if any package lacks a package doc comment
+doclint:
+	$(GO) run ./cmd/doclint
 
 ## test: the tier-1 verify — full suite at full statistical strictness
 test:
@@ -48,14 +52,18 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 ## artifacts: regenerate every artifact (short sizes) as JSON plus the
-## run manifest into dist/ — what CI uploads as the build artifact
+## run manifest into dist/, and record the scripted kill chain as a
+## replay log with its divergence fingerprint — what CI uploads as the
+## build artifact
 artifacts:
 	$(GO) run ./cmd/experiments -run all -sites 400 -days 20 -payload 8192 -format json -out dist
+	$(GO) run ./cmd/experiments -record dist/killchain.replay -seed 97
 
-## ci: what .github/workflows/ci.yml runs — gofmt + vet, build, race tests
-## on the short corpora (the full-size crawl would dominate the race run),
-## a single-iteration benchmark smoke pass, and the artifact regeneration
-ci: fmt-check vet build
+## ci: what .github/workflows/ci.yml runs — gofmt + vet + doclint, build,
+## race tests on the short corpora (the full-size crawl would dominate the
+## race run), a single-iteration benchmark smoke pass, and the artifact
+## regeneration
+ci: fmt-check vet doclint build
 	$(GO) test -short -race ./...
 	$(MAKE) bench-smoke
 	$(MAKE) artifacts

@@ -1,0 +1,89 @@
+// Command doclint enforces the repo's documentation floor: every
+// package must carry a package doc comment. It parses the package
+// clause of each non-test Go file under the given roots (default: the
+// whole tree) and fails, listing the offenders, when a package has no
+// doc comment on any of its files.
+//
+// Usage:
+//
+//	doclint [dir ...]
+//
+// Wired into `make ci` so a new package cannot land undocumented.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	missing, err := lint(roots)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(1)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintln(os.Stderr, "doclint: packages missing a package doc comment:")
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// lint returns the sorted directories whose package lacks a doc
+// comment on every one of its non-test files.
+func lint(roots []string) ([]string, error) {
+	// dir → true once any file documents the package.
+	documented := make(map[string]bool)
+	seen := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			name := d.Name()
+			if d.IsDir() {
+				if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			dir := filepath.Dir(path)
+			seen[dir] = true
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented[dir] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var missing []string
+	for dir := range seen {
+		if !documented[dir] {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}

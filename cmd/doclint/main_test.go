@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintFindsUndocumentedPackages(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "good", "doc.go"), "// Package good is documented.\npackage good\n")
+	write(t, filepath.Join(dir, "good", "other.go"), "package good\n")
+	write(t, filepath.Join(dir, "bad", "a.go"), "package bad\n")
+	write(t, filepath.Join(dir, "bad", "a_test.go"), "// Package bad docs on a test file do not count.\npackage bad\n")
+	write(t, filepath.Join(dir, "testdata", "skip.go"), "package skipped\n")
+
+	missing, err := lint([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(dir, "bad")}
+	if len(missing) != 1 || missing[0] != want[0] {
+		t.Fatalf("missing = %v, want %v", missing, want)
+	}
+}
+
+// TestRepoIsFullyDocumented is the satellite guarantee itself: every
+// package in this repository carries a package doc comment.
+func TestRepoIsFullyDocumented(t *testing.T) {
+	missing, err := lint([]string{"../.."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("undocumented packages: %v", missing)
+	}
+}

@@ -8,6 +8,11 @@
 //	experiments -run table1,table5,fig3 -sites 15000 -days 100
 //	experiments -run all -parallel 8 -format json -out dist/
 //	experiments -run all -manifest manifest.json
+//	experiments -record killchain.replay -seed 97
+//	experiments -replay killchain.replay -seed 97 -perturb 15ms
+//	experiments replay fingerprint killchain.replay
+//	experiments replay diff a.replay b.replay
+//	experiments replay drive killchain.replay -time-div 8
 //
 // The command itself knows no experiment: internal/experiments
 // self-registers one artifact.Spec per table and figure, and this
@@ -25,6 +30,14 @@
 // deterministic artifacts are byte-identical at any -parallel N, two
 // manifests from runs at different worker counts must carry identical
 // fingerprints.
+//
+// -record captures the scripted kill-chain run as an append-only
+// wire-event log plus its divergence fingerprint (FILE.fp); -replay
+// re-executes the scenario live against such a log and fails at the
+// exact divergent event (use -perturb to inject one deliberately). The
+// `replay` verb operates on logs offline: fingerprint, diff between two
+// logs, and stub-driven replay with time compression and perturbations
+// (see internal/replay and docs/ARCHITECTURE.md).
 package main
 
 import (
@@ -48,8 +61,14 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "replay" {
+		return runReplayVerb(args[1:], stdout)
+	}
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list registered artifacts and exit")
+	record := fs.String("record", "", "record a kill-chain run into this replay log (plus .fp fingerprint) and exit")
+	replayLog := fs.String("replay", "", "re-run the kill chain live against this recorded log and exit")
+	perturb := fs.Duration("perturb", 0, "server-delay override for -record/-replay (0 = scenario default)")
 	runList := fs.String("run", "all", "comma-separated artifact ids, or 'all'")
 	format := fs.String("format", "text", fmt.Sprintf("output format: %s", strings.Join(artifact.Formats(), ", ")))
 	parallel := fs.Int("parallel", 0, "scenario worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
@@ -67,6 +86,18 @@ func run(args []string, stdout io.Writer) error {
 
 	if *list {
 		return printList(stdout)
+	}
+	if *record != "" || *replayLog != "" {
+		seed := int64(*paramFlags["seed"])
+		if *record != "" {
+			if err := recordRun(*record, seed, *perturb, stdout); err != nil {
+				return err
+			}
+		}
+		if *replayLog != "" {
+			return replayRun(*replayLog, seed, *perturb, stdout)
+		}
+		return nil
 	}
 	renderer, err := artifact.RendererFor(*format)
 	if err != nil {

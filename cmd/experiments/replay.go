@@ -1,0 +1,140 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"masterparasite/internal/experiments"
+	"masterparasite/internal/replay"
+)
+
+// recordRun captures one scripted kill-chain run into path, writes the
+// divergence fingerprint next to it as path+".fp", and prints a summary.
+func recordRun(path string, seed int64, perturb time.Duration, stdout io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rec := replay.NewRecorder(f)
+	runErr := experiments.RunKillChain(experiments.KillChainOpts{Seed: seed, ServerDelay: perturb}, rec, nil)
+	if closeErr := f.Close(); runErr == nil {
+		runErr = closeErr
+	}
+	if runErr == nil {
+		runErr = rec.Err()
+	}
+	if runErr != nil {
+		return fmt.Errorf("record %s: %w", path, runErr)
+	}
+	fp := rec.Fingerprint()
+	if err := os.WriteFile(path+".fp", []byte(fp+"\n"), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "recorded %s: seed %d, %d events (%d sends, %d C&C exchanges)\n",
+		path, seed, rec.Count(), rec.CountKind(replay.KindSend), rec.CountKind(replay.KindCNC))
+	fmt.Fprintf(stdout, "fingerprint %s (written to %s.fp)\n", fp, path)
+	return nil
+}
+
+// replayRun re-executes the kill chain live against a recorded log,
+// checking every wire event as it happens. A clean run prints PASS with
+// the shared fingerprint; any difference — e.g. one injected with
+// -perturb — is reported at its exact event index and fails the command.
+func replayRun(path string, seed int64, perturb time.Duration, stdout io.Writer) error {
+	rp, err := replay.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	chk := replay.NewChecker(rp.Events())
+	if err := experiments.RunKillChain(experiments.KillChainOpts{Seed: seed, ServerDelay: perturb}, nil, chk); err != nil {
+		return err
+	}
+	if div := chk.Finish(); div != nil {
+		fmt.Fprintf(stdout, "replay %s: DIVERGED after %d matching events\n%s\n", path, div.Index, div)
+		return fmt.Errorf("replay diverged at event #%d", div.Index)
+	}
+	fmt.Fprintf(stdout, "replay %s: PASS — %d events reproduced, fingerprint %s\n",
+		path, len(rp.Events()), rp.Fingerprint())
+	return nil
+}
+
+// runReplayVerb is the `experiments replay <cmd>` dispatcher for working
+// with recorded logs offline: fingerprint, diff, and stub-driven replay.
+func runReplayVerb(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: experiments replay fingerprint FILE | diff A B | drive FILE [flags]")
+	}
+	switch args[0] {
+	case "fingerprint":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: experiments replay fingerprint FILE")
+		}
+		rp, err := replay.LoadFile(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s  %s (%d events)\n", rp.Fingerprint(), args[1], len(rp.Events()))
+		return nil
+
+	case "diff":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: experiments replay diff A B")
+		}
+		a, err := replay.LoadFile(args[1])
+		if err != nil {
+			return err
+		}
+		b, err := replay.LoadFile(args[2])
+		if err != nil {
+			return err
+		}
+		if div := replay.Diff(a.Events(), b.Events()); div != nil {
+			fmt.Fprintf(stdout, "%s\n", div)
+			return fmt.Errorf("logs diverge at event #%d", div.Index)
+		}
+		fmt.Fprintf(stdout, "identical: %d events, fingerprint %s\n", len(a.Events()), a.Fingerprint())
+		return nil
+
+	case "drive":
+		fs := flag.NewFlagSet("replay drive", flag.ContinueOnError)
+		timeDiv := fs.Int("time-div", 1, "compress virtual time by this divisor")
+		extraLatency := fs.Duration("extra-latency", 0, "inject extra delay before every send")
+		dropEvery := fs.Int("drop-every", 0, "drop every Nth send (0 disables)")
+		dupEvery := fs.Int("dup-every", 0, "duplicate every Nth send (0 disables)")
+		if len(args) < 2 {
+			return fmt.Errorf("usage: experiments replay drive FILE [flags]")
+		}
+		if err := fs.Parse(args[2:]); err != nil {
+			return err
+		}
+		rp, err := replay.LoadFile(args[1])
+		if err != nil {
+			return err
+		}
+		opts := replay.DriveOptions{TimeDiv: *timeDiv, ExtraLatency: *extraLatency,
+			DropEvery: *dropEvery, DupEvery: *dupEvery}
+		res, err := rp.Drive(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "drove %d sends, recaptured %d send-level events\n", res.Sends, res.Events)
+		fmt.Fprintf(stdout, "fingerprint %s\nwant        %s\n", res.Fingerprint, res.WantFingerprint)
+		if res.Divergence != nil {
+			fmt.Fprintf(stdout, "%s\n", res.Divergence)
+			// A perturbed drive is *supposed* to diverge; only a faithful
+			// replay failing to reproduce the log is an error.
+			if opts == (replay.DriveOptions{TimeDiv: *timeDiv}) {
+				return fmt.Errorf("faithful replay diverged at event #%d", res.Divergence.Index)
+			}
+			return nil
+		}
+		fmt.Fprintf(stdout, "PASS — replay reproduced the recorded send stream\n")
+		return nil
+
+	default:
+		return fmt.Errorf("unknown replay subcommand %q (want fingerprint, diff, or drive)", args[0])
+	}
+}

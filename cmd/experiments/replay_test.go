@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRecordReplayRoundTrip records a kill-chain run, replays it live,
+// and checks the written fingerprint file matches the log.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	log := filepath.Join(dir, "kc.replay")
+
+	var out bytes.Buffer
+	if err := run([]string{"-record", log, "-seed", "97"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fingerprint ") {
+		t.Fatalf("record output misses fingerprint:\n%s", out.String())
+	}
+	fp, err := os.ReadFile(log + ".fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bytes.TrimSpace(fp)) != 64 {
+		t.Fatalf("fingerprint file %q is not a SHA-256 hex digest", fp)
+	}
+	if !strings.Contains(out.String(), string(bytes.TrimSpace(fp))) {
+		t.Fatal("printed fingerprint differs from .fp file")
+	}
+
+	// Live replay against the log: PASS, same fingerprint.
+	out.Reset()
+	if err := run([]string{"-replay", log, "-seed", "97"}, &out); err != nil {
+		t.Fatalf("replay failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") || !strings.Contains(out.String(), string(bytes.TrimSpace(fp))) {
+		t.Fatalf("replay output:\n%s", out.String())
+	}
+
+	// The offline fingerprint verb agrees with the recorded .fp.
+	out.Reset()
+	if err := run([]string{"replay", "fingerprint", log}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), string(bytes.TrimSpace(fp))) {
+		t.Fatalf("fingerprint verb disagrees with .fp:\n%s", out.String())
+	}
+}
+
+// TestReplayPerturbationDiverges injects a slower server into the live
+// replay and requires the command to fail, naming the exact event index
+// — which must match what the offline diff of two recordings reports.
+func TestReplayPerturbationDiverges(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.replay")
+	pert := filepath.Join(dir, "pert.replay")
+	for _, args := range [][]string{
+		{"-record", base, "-seed", "97"},
+		{"-record", pert, "-seed", "97", "-perturb", "15ms"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var live bytes.Buffer
+	err := run([]string{"-replay", base, "-seed", "97", "-perturb", "15ms"}, &live)
+	if err == nil {
+		t.Fatalf("perturbed replay passed:\n%s", live.String())
+	}
+	if !strings.Contains(live.String(), "divergence at event #") {
+		t.Fatalf("no divergence report:\n%s", live.String())
+	}
+
+	var diff bytes.Buffer
+	if err := run([]string{"replay", "diff", base, pert}, &diff); err == nil {
+		t.Fatalf("diff of diverging logs succeeded:\n%s", diff.String())
+	}
+	// Both paths must name the same event index.
+	idx := func(s string) string {
+		_, after, ok := strings.Cut(s, "divergence at event #")
+		if !ok {
+			t.Fatalf("no index in:\n%s", s)
+		}
+		return strings.Fields(after)[0]
+	}
+	if li, di := idx(live.String()), idx(diff.String()); li != di {
+		t.Fatalf("live replay diverged at #%s, offline diff at #%s", li, di)
+	}
+}
+
+// TestReplayDriveVerb drives a recorded log through stub endpoints,
+// faithfully and under compression; a faithful drive must print PASS.
+func TestReplayDriveVerb(t *testing.T) {
+	log := filepath.Join(t.TempDir(), "kc.replay")
+	if err := run([]string{"-record", log, "-seed", "97"}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{nil, {"-time-div", "8"}} {
+		var out bytes.Buffer
+		if err := run(append([]string{"replay", "drive", log}, extra...), &out); err != nil {
+			t.Fatalf("drive %v: %v\n%s", extra, err, out.String())
+		}
+		if !strings.Contains(out.String(), "PASS") {
+			t.Fatalf("drive %v did not pass:\n%s", extra, out.String())
+		}
+	}
+	// A perturbed drive reports its divergence but is not a command error.
+	var out bytes.Buffer
+	if err := run([]string{"replay", "drive", log, "-extra-latency", "1ms"}, &out); err != nil {
+		t.Fatalf("perturbed drive errored: %v", err)
+	}
+	if !strings.Contains(out.String(), "divergence at event #0") {
+		t.Fatalf("latency perturbation not pinned to event 0:\n%s", out.String())
+	}
+}
+
+// TestReplayVerbUsage rejects malformed invocations.
+func TestReplayVerbUsage(t *testing.T) {
+	for _, args := range [][]string{
+		{"replay"},
+		{"replay", "nope"},
+		{"replay", "fingerprint"},
+		{"replay", "diff", "only-one"},
+		{"replay", "fingerprint", filepath.Join(t.TempDir(), "missing.replay")},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

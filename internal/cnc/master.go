@@ -40,7 +40,26 @@ type MasterServer struct {
 	commands map[string][]command           // bot → queued commands (ids ascending)
 	uploads  map[string]map[string][][]byte // bot → stream → ordered chunks
 	finished map[string]map[string]bool     // bot → stream → fin received
+
+	observer func(Exchange)
 }
+
+// Exchange describes one routed covert-channel request/response pair, as
+// reported to the exchange observer: which bot spoke, the request path,
+// and what went back. Unroutable paths carry an empty Bot.
+type Exchange struct {
+	Bot       string
+	Path      string
+	Status    int
+	RespBytes int
+}
+
+// SetExchangeObserver installs a hook invoked after every Route dispatch.
+// It exists for the record/replay subsystem: inside the simulation Route
+// runs on the single-threaded event loop, so the observer sees exchanges
+// in deterministic order. A server driven over real sockets (ServeHTTP)
+// calls the observer concurrently — install one there only if it locks.
+func (m *MasterServer) SetExchangeObserver(fn func(Exchange)) { m.observer = fn }
 
 // NewMasterServer returns an empty C&C server.
 func NewMasterServer() *MasterServer {
@@ -125,6 +144,17 @@ const (
 // in-simulation httpsim adapter, which no longer pays for net/http
 // request/recorder scaffolding per covert image.
 func (m *MasterServer) Route(path string, dst []byte) (status int, contentType string, body []byte) {
+	var bot string
+	status, contentType, body = m.route(path, dst, &bot)
+	if m.observer != nil {
+		m.observer(Exchange{Bot: bot, Path: path, Status: status, RespBytes: len(body)})
+	}
+	return status, contentType, body
+}
+
+// route is Route's dispatch, additionally reporting which bot the path
+// addressed (empty for unroutable paths).
+func (m *MasterServer) route(path string, dst []byte, bot *string) (status int, contentType string, body []byte) {
 	p := strings.Trim(path, "/")
 	var parts [5]string
 	n := 0
@@ -145,14 +175,19 @@ func (m *MasterServer) Route(path string, dst []byte) (status int, contentType s
 	}
 	switch {
 	case n == 2 && parts[0] == "meta" && strings.HasSuffix(parts[1], ".svg"):
-		return m.serveMeta(dst, strings.TrimSuffix(parts[1], ".svg"))
+		*bot = strings.TrimSuffix(parts[1], ".svg")
+		return m.serveMeta(dst, *bot)
 	case n == 4 && parts[0] == "img" && strings.HasSuffix(parts[3], ".svg"):
+		*bot = parts[1]
 		return m.serveImage(dst, parts[1], parts[2], strings.TrimSuffix(parts[3], ".svg"))
 	case n == 5 && parts[0] == "batch" && strings.HasSuffix(parts[4], ".svg"):
+		*bot = parts[1]
 		return m.serveBatch(dst, parts[1], parts[2], parts[3], strings.TrimSuffix(parts[4], ".svg"))
 	case n == 4 && parts[0] == "up" && parts[3] == "fin":
+		*bot = parts[1]
 		return m.finishUpload(dst, parts[1], parts[2])
 	case n == 5 && parts[0] == "up":
+		*bot = parts[1]
 		return m.acceptUpload(dst, parts[1], parts[2], parts[3], parts[4])
 	default:
 		return errorBody(dst, http.StatusNotFound, "404 page not found")

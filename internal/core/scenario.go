@@ -17,6 +17,7 @@ import (
 	"masterparasite/internal/httpsim"
 	"masterparasite/internal/netsim"
 	"masterparasite/internal/parasite"
+	"masterparasite/internal/replay"
 	"masterparasite/internal/tcpsim"
 )
 
@@ -61,6 +62,11 @@ type Config struct {
 	ReassemblyPolicy tcpsim.ReassemblyPolicy
 	// FraudulentCertHosts grants the master mis-issued certificates.
 	FraudulentCertHosts []string
+	// ServerDelay overrides the web farm / attacker-server RTT (default
+	// 12 ms). The replay subsystem uses it as a perturbation knob: a
+	// recorded run re-driven with a different server latency diverges at
+	// the first server-side wire event, pinpointing the timing change.
+	ServerDelay time.Duration
 }
 
 // Scenario is one assembled attack laboratory.
@@ -119,9 +125,14 @@ func NewScenario(cfg Config) (*Scenario, error) {
 	}
 	s.Wifi = s.Net.MustSegment("public-wifi", wifiLatency)
 
+	srvDelay := serverDelay
+	if cfg.ServerDelay > 0 {
+		srvDelay = cfg.ServerDelay
+	}
+
 	// Legitimate web farm: one address hosting all site vhosts, plain
 	// and sealed listeners.
-	webIfc, err := s.Wifi.Attach(webAddr, serverDelay, nil)
+	webIfc, err := s.Wifi.Attach(webAddr, srvDelay, nil)
 	if err != nil {
 		return nil, fmt.Errorf("scenario web attach: %w", err)
 	}
@@ -135,7 +146,7 @@ func NewScenario(cfg Config) (*Scenario, error) {
 
 	// Attacker's remote infrastructure: junk objects + C&C, dispatched
 	// by Host header on one address.
-	atkIfc, err := s.Wifi.Attach(attackerAddr, serverDelay, nil)
+	atkIfc, err := s.Wifi.Attach(attackerAddr, srvDelay, nil)
 	if err != nil {
 		return nil, fmt.Errorf("scenario attacker attach: %w", err)
 	}
@@ -317,6 +328,21 @@ func (s *Scenario) visit(host, path string, opts browser.VisitOpts) (*browser.Pa
 		return nil, errors.New("core: page load did not complete")
 	}
 	return page, nil
+}
+
+// AttachReplay wires the record/replay subsystem into the scenario: the
+// netsim wire tap and the C&C exchange observer feed one replay.Tap,
+// which fans canonical events out to rec (capture + divergence
+// fingerprint) and/or chk (live verification against a recorded log).
+// Either may be nil. Attach before the first Visit so the log covers the
+// whole run.
+func (s *Scenario) AttachReplay(rec *replay.Recorder, chk *replay.Checker) *replay.Tap {
+	t := replay.NewTap(rec, chk)
+	t.Attach(s.Net)
+	s.CNC.SetExchangeObserver(func(x cnc.Exchange) {
+		t.ObserveCNC(x.Bot, x.Path, x.Status, x.RespBytes)
+	})
+	return t
 }
 
 // LeaveAttackerNetwork models the victim moving to its home network: the

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"testing"
+
+	"masterparasite/internal/artifact"
+	"masterparasite/internal/replay"
+	"masterparasite/internal/runner"
+)
+
+// recordKillChain captures one kill-chain run for a seed.
+func recordKillChain(t *testing.T, opts KillChainOpts) *replay.Recorder {
+	t.Helper()
+	rec := replay.NewRecorder(nil)
+	if err := RunKillChain(opts, rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count() == 0 {
+		t.Fatal("kill chain recorded no events")
+	}
+	return rec
+}
+
+// renderReplay renders the replay artifact with the given worker count.
+func renderReplay(t *testing.T, workers int) (string, []byte) {
+	t.Helper()
+	spec, ok := artifact.Get("replay")
+	if !ok {
+		t.Fatal("replay artifact not registered")
+	}
+	renderer, err := artifact.RendererFor("text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rendered, err := artifact.RunRendered(spec, runner.New(workers), nil, renderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := res.Dataset.(ReplayData)
+	if !ok || len(data) == 0 {
+		t.Fatalf("replay artifact dataset = %T", res.Dataset)
+	}
+	for _, row := range data {
+		if !row.DriveOK || !row.CompressedOK || !row.RerunOK {
+			t.Errorf("seed %d verdicts: drive=%v compressed=%v rerun=%v",
+				row.Seed, row.DriveOK, row.CompressedOK, row.RerunOK)
+		}
+		if len(row.Fingerprint) != 64 {
+			t.Errorf("seed %d: fingerprint %q is not a SHA-256 hex digest", row.Seed, row.Fingerprint)
+		}
+	}
+	return data[0].Fingerprint, rendered
+}
+
+// TestReplayFingerprintStableAcrossWorkers asserts the PR's headline
+// guarantee: a recorded run's divergence fingerprint — and the whole
+// rendered replay artifact around it — is byte-identical whether the
+// fleet runs on 1, 4, or 8 workers.
+func TestReplayFingerprintStableAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records the kill chain 12 times per worker count; run without -short")
+	}
+	fp1, out1 := renderReplay(t, 1)
+	for _, workers := range []int{4, 8} {
+		fp, out := renderReplay(t, workers)
+		if fp != fp1 {
+			t.Errorf("workers=%d: fingerprint %.16s, sequential %.16s", workers, fp, fp1)
+		}
+		if string(out) != string(out1) {
+			t.Errorf("workers=%d: rendered artifact differs from sequential run", workers)
+		}
+	}
+}
+
+// TestReplayDivergenceExactIndex injects the canonical perturbation (a
+// slower server) and asserts the live checker reports the divergence at
+// exactly the index an offline log-vs-log Diff computes — and that an
+// unperturbed re-run reports none at all.
+func TestReplayDivergenceExactIndex(t *testing.T) {
+	const seed = 97
+	base := recordKillChain(t, KillChainOpts{Seed: seed})
+
+	// Unperturbed live re-run: checker stays clean.
+	chk := replay.NewChecker(base.Events())
+	if err := RunKillChain(KillChainOpts{Seed: seed}, nil, chk); err != nil {
+		t.Fatal(err)
+	}
+	if d := chk.Finish(); d != nil {
+		t.Fatalf("identical re-run diverged:\n%s", d)
+	}
+
+	// Perturbed live re-run, checked as it happens.
+	chk = replay.NewChecker(base.Events())
+	if err := RunKillChain(KillChainOpts{Seed: seed, ServerDelay: perturbDelay}, nil, chk); err != nil {
+		t.Fatal(err)
+	}
+	live := chk.Finish()
+	if live == nil {
+		t.Fatal("perturbed re-run did not diverge")
+	}
+
+	// Offline ground truth: record the perturbed run and Diff the logs.
+	pert := recordKillChain(t, KillChainOpts{Seed: seed, ServerDelay: perturbDelay})
+	offline := replay.Diff(base.Events(), pert.Events())
+	if offline == nil {
+		t.Fatal("offline diff found no divergence")
+	}
+	if live.Index != offline.Index {
+		t.Fatalf("live checker diverged at #%d, offline diff at #%d", live.Index, offline.Index)
+	}
+	// Everything before the divergence is identical by construction; the
+	// event at the index must show the timing change in its field diff.
+	if live.Recorded == nil || live.Live == nil {
+		t.Fatalf("divergence lacks a before/after pair:\n%s", live)
+	}
+	found := false
+	for _, f := range live.ChangedFields() {
+		if len(f) >= 4 && f[:4] == "time" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("divergence does not attribute the change to timing:\n%s", live)
+	}
+}

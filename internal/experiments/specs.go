@@ -61,6 +61,10 @@ func init() {
 			ID: "countermeasures", Title: "§VIII: countermeasures vs the kill chain",
 			Section: "§VIII", Seed: 61, Deterministic: true, Run: Countermeasures,
 		},
+		{
+			ID: "replay", Title: "Record/replay fingerprint stability",
+			Section: "infra", Seed: 97, Deterministic: true, Run: ReplayStability,
+		},
 	} {
 		artifact.MustRegister(s)
 	}

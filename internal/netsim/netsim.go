@@ -16,6 +16,11 @@
 // events live in a slab ordered by an index-based 4-ary heap. Payload
 // slices handed to a Handler are therefore only valid for the duration of
 // the call — a receiver that retains bytes must copy them (Packet.Clone).
+//
+// Two observation hooks exist: SetTrace reports deliveries (sizes only;
+// the message-flow figures), and SetWireTap reports every send, delivery,
+// tap delivery, and drop with payload bytes — the capture point of the
+// deterministic record/replay subsystem (internal/replay).
 package netsim
 
 import (
@@ -72,6 +77,51 @@ func (p Packet) Clone() Packet {
 // for the duration of the call: it aliases a pooled frame buffer that is
 // recycled once every delivery of the frame has run.
 type Handler func(now time.Duration, pkt Packet)
+
+// WireKind classifies a WireEvent on the simulated medium.
+type WireKind uint8
+
+// Wire event kinds, in lifecycle order: a frame is sent onto a segment,
+// then delivered to its addressee and/or observed by taps — or dropped
+// (segment down, receiver gone, or nobody listening).
+const (
+	WireSend WireKind = iota + 1
+	WireDeliver
+	WireTapDeliver
+	WireDrop
+)
+
+// String returns the conventional name of the wire-event kind.
+func (k WireKind) String() string {
+	switch k {
+	case WireSend:
+		return "send"
+	case WireDeliver:
+		return "deliver"
+	case WireTapDeliver:
+		return "tap"
+	case WireDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("wire(%d)", uint8(k))
+	}
+}
+
+// WireEvent is one observable event on the simulated medium, reported to
+// the network's wire tap (SetWireTap). Unlike TraceEvent it carries the
+// payload bytes: the record/replay subsystem (internal/replay) encodes
+// the full frame so a run can be re-driven from the log alone. Payload
+// aliases pooled frame storage and is only valid for the duration of the
+// tap call — a tap that retains bytes must copy them.
+type WireEvent struct {
+	Kind    WireKind
+	Time    time.Duration
+	Segment string
+	Src     Addr
+	Dst     Addr
+	Proto   Protocol
+	Payload []byte
+}
 
 // TraceEvent records one delivery for message-flow rendering (Fig. 1, 2
 // and 4 of the paper are message sequence diagrams).
@@ -153,6 +203,11 @@ type Network struct {
 
 	segments map[string]*Segment
 	trace    func(TraceEvent)
+	wiretap  func(WireEvent)
+
+	// dropScratch materializes payloads of frames that never make it
+	// onto the medium (segment down), so the wire tap still records them.
+	dropScratch []byte
 
 	delivered int
 	injected  int
@@ -171,6 +226,21 @@ func (n *Network) Delivered() int { return n.delivered }
 
 // SetTrace installs a delivery trace hook. A nil hook disables tracing.
 func (n *Network) SetTrace(fn func(TraceEvent)) { n.trace = fn }
+
+// SetWireTap installs the wire-event hook used by the record/replay
+// subsystem: it observes every send, delivery, tap delivery, and drop on
+// the whole network, payload included. The event loop is single-threaded,
+// so the hook sees events in exact scheduling order. A nil hook disables
+// wire tapping (the steady-state cost is one predicate per event).
+func (n *Network) SetWireTap(fn func(WireEvent)) { n.wiretap = fn }
+
+// emitWire reports one wire event to the installed tap.
+func (n *Network) emitWire(kind WireKind, seg *Segment, src, dst Addr, proto Protocol, payload []byte) {
+	n.wiretap(WireEvent{
+		Kind: kind, Time: n.now, Segment: seg.name,
+		Src: src, Dst: dst, Proto: proto, Payload: payload,
+	})
+}
 
 // push stores ev in the slab and sifts its index up the heap.
 func (n *Network) push(ev event) {
@@ -320,7 +390,14 @@ func (n *Network) deliver(fr *frame, target *Interface) {
 				Proto: fr.pkt.Proto, Size: len(fr.pkt.Payload),
 			})
 		}
+		if n.wiretap != nil {
+			n.emitWire(WireDeliver, fr.seg, fr.pkt.Src, fr.pkt.Dst, fr.pkt.Proto, fr.pkt.Payload)
+		}
 		target.handler(n.now, fr.pkt)
+	} else if n.wiretap != nil {
+		// The addressee exists but is not receiving (left the network or
+		// never installed a handler): the frame dies here.
+		n.emitWire(WireDrop, fr.seg, fr.pkt.Src, fr.pkt.Dst, fr.pkt.Proto, fr.pkt.Payload)
 	}
 	n.releaseFrame(fr)
 }
@@ -335,6 +412,9 @@ func (n *Network) deliverTap(fr *frame, target *Tap) {
 				Proto: fr.pkt.Proto, Size: len(fr.pkt.Payload),
 				Tapped: true,
 			})
+		}
+		if n.wiretap != nil {
+			n.emitWire(WireTapDeliver, fr.seg, fr.pkt.Src, fr.pkt.Dst, fr.pkt.Proto, fr.pkt.Payload)
 		}
 		target.handler(n.now, fr.pkt)
 	}
@@ -538,6 +618,12 @@ func (s *Segment) transmit(senderDelay time.Duration, pkt Packet) {
 // (or the genuine addressee) sees.
 func (s *Segment) transmitPayload(senderDelay time.Duration, src, dst Addr, proto Protocol, fill func([]byte) []byte) {
 	if s.down {
+		if s.net.wiretap != nil {
+			// The frame never reaches the medium; materialize the payload
+			// into per-network scratch so the tap still records the drop.
+			s.net.dropScratch = fill(s.net.dropScratch[:0])
+			s.net.emitWire(WireDrop, s, src, dst, proto, s.net.dropScratch)
+		}
 		return
 	}
 	var target *Interface
@@ -548,9 +634,17 @@ func (s *Segment) transmitPayload(senderDelay time.Duration, src, dst Addr, prot
 		}
 	}
 	if target == nil && len(s.taps) == 0 {
+		if s.net.wiretap != nil {
+			// Sent onto the wire, but nobody is attached to hear it.
+			s.net.dropScratch = fill(s.net.dropScratch[:0])
+			s.net.emitWire(WireSend, s, src, dst, proto, s.net.dropScratch)
+		}
 		return
 	}
 	main := s.net.acquireFrame(s, src, dst, proto, fill)
+	if s.net.wiretap != nil {
+		s.net.emitWire(WireSend, s, src, dst, proto, main.pkt.Payload)
+	}
 	tapFr := main
 	if target != nil {
 		main.refs = 1

@@ -1,0 +1,278 @@
+package replay
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"masterparasite/internal/netsim"
+)
+
+// sampleEvents covers every kind and every field.
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: KindSend, Time: 1500 * time.Microsecond, Segment: "wifi", Src: "victim", Dst: "web",
+			Proto: 2, Size: 5, Payload: []byte("hello")},
+		{Kind: KindTCP, Time: 1500 * time.Microsecond, Segment: "wifi", Src: "victim", Dst: "web",
+			Proto: 2, Size: 3, SrcPort: 49152, DstPort: 80, Seq: 7, Ack: 9, Flags: 0x18},
+		{Kind: KindDeliver, Time: 2 * time.Millisecond, Segment: "wifi", Src: "victim", Dst: "web",
+			Proto: 2, Size: 5},
+		{Kind: KindTap, Time: 2 * time.Millisecond, Segment: "wifi", Src: "victim", Dst: "web",
+			Proto: 2, Size: 5},
+		{Kind: KindDrop, Time: 3 * time.Millisecond, Segment: "wifi", Src: "web", Dst: "gone",
+			Proto: 1, Size: 2, Payload: []byte("xx")},
+		{Kind: KindCNC, Time: 4 * time.Millisecond, Bot: "bot-1", Path: "/meta/bot-1.svg",
+			Status: 200, Size: 120},
+	}
+}
+
+// TestLogRoundTrip locks the codec: encode → decode reproduces every
+// field of every kind, and the streaming fingerprint equals both the
+// hash of the log body and FingerprintEvents of the decoded events.
+func TestLogRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	for _, e := range events {
+		rec.Add(e)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		w := events[i].appendTo(nil)
+		g := got[i].appendTo(nil)
+		if !bytes.Equal(w, g) {
+			t.Errorf("event %d: decoded %+v, want %+v", i, got[i], events[i])
+		}
+	}
+	// Streaming fingerprint == hash of the log body == recomputation
+	// from the decoded events.
+	sum := sha256.Sum256(buf.Bytes()[5:])
+	if fp := rec.Fingerprint(); fp != hex.EncodeToString(sum[:]) {
+		t.Errorf("streaming fingerprint %s != log-body hash", fp)
+	}
+	if fp := FingerprintEvents(got); fp != rec.Fingerprint() {
+		t.Errorf("recomputed fingerprint %s != streaming %s", fp, rec.Fingerprint())
+	}
+}
+
+func TestReadLogRejectsGarbage(t *testing.T) {
+	if _, err := ReadLog(bytes.NewReader([]byte("not a log at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Valid header, truncated record.
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	rec.Add(sampleEvents()[0])
+	if _, err := ReadLog(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil {
+		t.Fatal("truncated log accepted")
+	}
+}
+
+// captureRun drives a deterministic two-host exchange and records it.
+func captureRun(t *testing.T, extraLatency time.Duration) *Recorder {
+	t.Helper()
+	net := netsim.New()
+	seg := net.MustSegment("lan", 100*time.Microsecond+extraLatency)
+	var b *netsim.Interface
+	a := seg.MustAttach("a", 0, nil)
+	b = seg.MustAttach("b", 0, func(now time.Duration, pkt netsim.Packet) {
+		if string(pkt.Payload) == "ping" {
+			b.Send(netsim.Packet{Dst: "a", Proto: netsim.ProtoRaw, Payload: []byte("pong")})
+		}
+	})
+	a.SetHandler(func(time.Duration, netsim.Packet) {})
+	rec := NewRecorder(nil)
+	NewTap(rec, nil).Attach(net)
+	a.Send(netsim.Packet{Dst: "b", Proto: netsim.ProtoRaw, Payload: []byte("ping")})
+	net.Run(0)
+	return rec
+}
+
+// TestCheckerReportsExactIndex perturbs the link latency and asserts the
+// live checker pins the divergence to the first affected event — and
+// that the index matches an offline Diff of the two logs.
+func TestCheckerReportsExactIndex(t *testing.T) {
+	base := captureRun(t, 0)
+	pert := captureRun(t, 50*time.Microsecond)
+	if base.Fingerprint() == pert.Fingerprint() {
+		t.Fatal("perturbed run fingerprints identically")
+	}
+
+	// Identical re-run: no divergence.
+	chk := NewChecker(base.Events())
+	for _, ev := range captureRun(t, 0).Events() {
+		chk.observe(ev)
+	}
+	if d := chk.Finish(); d != nil {
+		t.Fatalf("identical rerun diverged: %s", d)
+	}
+
+	offline := Diff(base.Events(), pert.Events())
+	if offline == nil {
+		t.Fatal("offline diff found no divergence")
+	}
+	chk = NewChecker(base.Events())
+	for _, ev := range pert.Events() {
+		chk.observe(ev)
+	}
+	live := chk.Finish()
+	if live == nil {
+		t.Fatal("live checker found no divergence")
+	}
+	if live.Index != offline.Index {
+		t.Fatalf("live divergence at #%d, offline at #%d", live.Index, offline.Index)
+	}
+	// The sends at t=0 are unaffected; the first delivery (delayed by the
+	// perturbation) is the first divergent event.
+	if live.Recorded == nil || live.Live == nil {
+		t.Fatalf("divergence should carry both events: %s", live)
+	}
+	if live.Recorded.Kind != KindDeliver {
+		t.Errorf("divergent event kind = %s, want deliver", live.Recorded.Kind)
+	}
+	if live.Recorded.Time == live.Live.Time {
+		t.Errorf("divergence is not the timing change: %s", live)
+	}
+}
+
+func TestCheckerFlagsTruncationAndExtra(t *testing.T) {
+	events := captureRun(t, 0).Events()
+
+	chk := NewChecker(events)
+	for _, ev := range events[:len(events)-1] {
+		chk.observe(ev)
+	}
+	d := chk.Finish()
+	if d == nil || d.Index != len(events)-1 || d.Live != nil {
+		t.Fatalf("truncation not flagged: %v", d)
+	}
+
+	chk = NewChecker(events[:len(events)-1])
+	for _, ev := range events {
+		chk.observe(ev)
+	}
+	d = chk.Finish()
+	if d == nil || d.Index != len(events)-1 || d.Recorded != nil {
+		t.Fatalf("extra event not flagged: %v", d)
+	}
+}
+
+// TestDriveReproducesFingerprint replays a recorded run through stub
+// endpoints and requires the send-level stream to reproduce exactly —
+// also under 10× time compression.
+func TestDriveReproducesFingerprint(t *testing.T) {
+	rec := captureRun(t, 0)
+	rp := NewReplayer(rec.Events())
+
+	res, err := rp.Drive(DriveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Divergence != nil {
+		t.Fatalf("faithful drive diverged: %s", res.Divergence)
+	}
+	if res.Fingerprint != res.WantFingerprint {
+		t.Fatalf("drive fingerprint %s != want %s", res.Fingerprint, res.WantFingerprint)
+	}
+	if want := FingerprintEvents(Filter(rec.Events(), KindSend, KindTCP)); res.Fingerprint != want {
+		t.Fatalf("drive fingerprint %s != log send-level fingerprint %s", res.Fingerprint, want)
+	}
+
+	comp, err := rp.Drive(DriveOptions{TimeDiv: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Divergence != nil {
+		t.Fatalf("time-compressed drive diverged: %s", comp.Divergence)
+	}
+	if comp.Fingerprint == res.Fingerprint {
+		t.Fatal("compression did not change timestamps (TimeDiv ignored?)")
+	}
+}
+
+// TestDrivePerturbationsDivergeAtExactIndex injects loss, retry
+// amplification, and latency, and checks each is pinned to the exact
+// first affected send.
+func TestDrivePerturbationsDivergeAtExactIndex(t *testing.T) {
+	rp := NewReplayer(captureRun(t, 0).Events())
+	sends := Filter(rp.Events(), KindSend)
+	if len(sends) < 2 {
+		t.Fatalf("capture produced %d sends, want ≥ 2", len(sends))
+	}
+
+	// Drop the 2nd send: the stream is intact up to the 2nd send's index
+	// in the send-level stream.
+	res, err := rp.Drive(DriveOptions{DropEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Divergence == nil {
+		t.Fatal("dropped send not detected")
+	}
+	want := Filter(rp.Events(), KindSend, KindTCP)
+	secondSendIdx := 0
+	seen := 0
+	for i, ev := range want {
+		if ev.Kind == KindSend {
+			seen++
+			if seen == 2 {
+				secondSendIdx = i
+				break
+			}
+		}
+	}
+	if res.Divergence.Index != secondSendIdx {
+		t.Errorf("drop divergence at #%d, want #%d\n%s", res.Divergence.Index, secondSendIdx, res.Divergence)
+	}
+
+	// Duplicate the 1st send: the duplicate appears right after the
+	// original send(+tcp annotation if any).
+	res, err = rp.Drive(DriveOptions{DupEvery: len(sends)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Divergence == nil {
+		t.Fatal("duplicated send not detected")
+	}
+
+	// Added latency shifts every timestamp: divergence at event 0.
+	res, err = rp.Drive(DriveOptions{ExtraLatency: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Divergence == nil || res.Divergence.Index != 0 {
+		t.Fatalf("latency divergence = %v, want index 0", res.Divergence)
+	}
+}
+
+// TestWireTapSeesDrops asserts the wire tap records what never made it:
+// a frame sent while the segment is down.
+func TestWireTapSeesDrops(t *testing.T) {
+	net := netsim.New()
+	seg := net.MustSegment("lan", 0)
+	a := seg.MustAttach("a", 0, nil)
+	seg.MustAttach("b", 0, func(time.Duration, netsim.Packet) {})
+	rec := NewRecorder(nil)
+	NewTap(rec, nil).Attach(net)
+	seg.SetDown(true)
+	a.Send(netsim.Packet{Dst: "b", Proto: netsim.ProtoRaw, Payload: []byte("lost")})
+	net.Run(0)
+	if rec.CountKind(KindDrop) != 1 {
+		t.Fatalf("drop not recorded: %+v", rec.Events())
+	}
+	ev := rec.Events()[0]
+	if string(ev.Payload) != "lost" || ev.Kind != KindDrop {
+		t.Fatalf("drop event wrong: %+v", ev)
+	}
+}

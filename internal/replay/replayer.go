@@ -1,0 +1,168 @@
+package replay
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"masterparasite/internal/netsim"
+)
+
+// Replayer re-drives a recorded run. The log's send events are the
+// ground truth of what went onto the wire; Drive re-injects each of
+// them, at its recorded virtual time, into a fresh live netsim.Network
+// whose endpoints are stubs — the outbound legs of the original run
+// (browser, servers, C&C handlers) do not execute. The re-driven
+// traffic is re-captured through the same canonical tap, so the
+// send-level stream must reproduce the log exactly: any difference —
+// including one injected deliberately as a perturbation — is reported
+// as a divergence at the exact event index.
+type Replayer struct {
+	events []Event
+}
+
+// NewReplayer wraps an already-decoded event sequence.
+func NewReplayer(events []Event) *Replayer { return &Replayer{events: events} }
+
+// Load reads a binary log into a Replayer.
+func Load(r io.Reader) (*Replayer, error) {
+	events, err := ReadLog(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Replayer{events: events}, nil
+}
+
+// LoadFile reads a log file into a Replayer.
+func LoadFile(path string) (*Replayer, error) {
+	events, err := ReadLogFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Replayer{events: events}, nil
+}
+
+// Events returns the decoded log.
+func (rp *Replayer) Events() []Event { return rp.events }
+
+// Fingerprint returns the divergence fingerprint of the full log.
+func (rp *Replayer) Fingerprint() string { return FingerprintEvents(rp.events) }
+
+// DriveOptions tune a replay run. The zero value replays with original
+// timing and no perturbation.
+type DriveOptions struct {
+	// TimeDiv compresses virtual time by an integer divisor (InfernoSIM's
+	// --time-scale): every send is re-driven at time/TimeDiv, and the
+	// comparison stream is normalized the same way, so ordering — and the
+	// verdict — are preserved under compression. 0 or 1 replays at
+	// original timing, where the re-captured send-level fingerprint must
+	// equal the log's.
+	TimeDiv int
+	// ExtraLatency injects additional delay before every re-driven send —
+	// the "what if the network were slower" perturbation. Any non-zero
+	// value diverges at the first send.
+	ExtraLatency time.Duration
+	// DropEvery drops every Nth send (1-based; 0 disables) — injected
+	// loss / timeout behaviour. The divergence index names the first
+	// dropped event.
+	DropEvery int
+	// DupEvery re-sends every Nth send immediately after itself
+	// (retry amplification). The divergence index names the first
+	// duplicate.
+	DupEvery int
+}
+
+// DriveResult is a replay run's outcome.
+type DriveResult struct {
+	// Sends is how many sends were re-driven (after drops and
+	// duplicates).
+	Sends int
+	// Events is the size of the re-captured send-level stream.
+	Events int
+	// Fingerprint is the divergence fingerprint of the re-captured
+	// stream; WantFingerprint is the fingerprint of the log's (time-
+	// normalized) send-level stream. They are equal iff Divergence is
+	// nil.
+	Fingerprint     string
+	WantFingerprint string
+	// Divergence pins the first behavioural difference, nil when the
+	// replay reproduced the log exactly.
+	Divergence *Divergence
+}
+
+// Drive replays the log's sends through a live network with stubbed
+// endpoints and verifies the re-captured stream against the log.
+func (rp *Replayer) Drive(opts DriveOptions) (*DriveResult, error) {
+	div := opts.TimeDiv
+	if div < 1 {
+		div = 1
+	}
+	// The expectation: the log's send-level stream, time-normalized to
+	// match the compressed schedule.
+	want := normalizeTimes(Filter(rp.events, KindSend, KindTCP), div)
+
+	net := netsim.New()
+	segs := make(map[string]*netsim.Segment)
+	taps := make(map[string]*netsim.Tap)
+	stubs := make(map[string]map[string]bool) // segment → stubbed addrs
+	for i := range rp.events {
+		ev := &rp.events[i]
+		if ev.Kind != KindSend {
+			continue
+		}
+		seg, ok := segs[ev.Segment]
+		if !ok {
+			// Zero latency everywhere: timing comes from the recorded
+			// schedule, not from re-modelled links.
+			seg = net.MustSegment(ev.Segment, 0)
+			segs[ev.Segment] = seg
+			taps[ev.Segment] = seg.AttachTap(0, nil)
+			stubs[ev.Segment] = make(map[string]bool)
+		}
+		if !stubs[ev.Segment][ev.Dst] {
+			stubs[ev.Segment][ev.Dst] = true
+			// The stubbed outbound leg: receives and discards, so
+			// deliveries complete without running any real endpoint.
+			if _, err := seg.Attach(netsim.Addr(ev.Dst), 0, func(time.Duration, netsim.Packet) {}); err != nil {
+				return nil, fmt.Errorf("replay: stub %s on %s: %w", ev.Dst, ev.Segment, err)
+			}
+		}
+	}
+
+	rec := NewRecorder(nil)
+	chk := NewChecker(want)
+	tap := NewTap(rec, chk)
+	tap.keep = func(k Kind) bool { return k == KindSend || k == KindTCP }
+	tap.Attach(net)
+
+	sendIdx := 0
+	for i := range rp.events {
+		ev := &rp.events[i]
+		if ev.Kind != KindSend {
+			continue
+		}
+		sendIdx++
+		if opts.DropEvery > 0 && sendIdx%opts.DropEvery == 0 {
+			continue
+		}
+		at := time.Duration(int64(ev.Time)/int64(div)) + opts.ExtraLatency
+		pkt := netsim.Packet{
+			Src: netsim.Addr(ev.Src), Dst: netsim.Addr(ev.Dst),
+			Proto: netsim.Protocol(ev.Proto), Payload: ev.Payload,
+		}
+		t := taps[ev.Segment]
+		net.Schedule(at, func() { t.Inject(pkt) })
+		if opts.DupEvery > 0 && sendIdx%opts.DupEvery == 0 {
+			net.Schedule(at, func() { t.Inject(pkt) })
+		}
+	}
+	net.Run(0)
+
+	return &DriveResult{
+		Sends:           rec.CountKind(KindSend),
+		Events:          rec.Count(),
+		Fingerprint:     rec.Fingerprint(),
+		WantFingerprint: FingerprintEvents(want),
+		Divergence:      chk.Finish(),
+	}, nil
+}
