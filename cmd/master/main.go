@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"masterparasite/internal/cnc"
+	"masterparasite/internal/daemon"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("master", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:0", "listen address")
 	demo := fs.Bool("demo", false, "run a self-contained bot demo and exit")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,7 +45,9 @@ func run(args []string) error {
 
 	srv := &http.Server{Handler: m, ReadHeaderTimeout: 5 * time.Second}
 	if !*demo {
-		return srv.Serve(ln)
+		// Serve until SIGINT/SIGTERM, then let in-flight polls and
+		// uploads finish before exiting (same helper as cmd/labd).
+		return daemon.Serve(srv, ln, *drain)
 	}
 
 	done := make(chan struct{})

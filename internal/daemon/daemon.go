@@ -1,0 +1,51 @@
+// Package daemon holds the shared lifecycle helper for the repo's
+// long-lived HTTP commands (cmd/labd, cmd/master): serve until SIGINT
+// or SIGTERM, then drain gracefully — stop accepting connections, let
+// in-flight requests finish via http.Server.Shutdown, and run any
+// subsystem drain hooks (labd's queue/fleet drain) under the same
+// deadline.
+package daemon
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Serve runs srv on ln until the process receives SIGINT or SIGTERM
+// (or the server fails on its own), then shuts down gracefully within
+// drainTimeout and runs the hooks in order under the same deadline.
+// The first error wins; a clean signal-triggered shutdown returns nil.
+func Serve(srv *http.Server, ln net.Listener, drainTimeout time.Duration, hooks ...func(context.Context) error) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	select {
+	case err := <-errc:
+		// The server failed before any signal; nothing left to drain.
+		return err
+	case <-sigc:
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	for _, hook := range hooks {
+		if herr := hook(ctx); herr != nil && err == nil {
+			err = herr
+		}
+	}
+	return err
+}

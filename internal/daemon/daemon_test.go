@@ -1,0 +1,90 @@
+package daemon
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeDrainsOnSIGTERM exercises the full lifecycle in-process: the
+// server answers a request, the test sends the process a real SIGTERM,
+// and Serve returns nil after http.Server.Shutdown and the drain hook
+// have both run.
+func TestServeDrainsOnSIGTERM(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("pong"))
+	})}
+
+	hookRan := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(srv, ln, 5*time.Second, func(ctx context.Context) error {
+			if ctx.Err() != nil {
+				t.Error("drain hook received an already-expired context")
+			}
+			close(hookRan)
+			return nil
+		})
+	}()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("body = %q", body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after graceful drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after SIGTERM")
+	}
+	select {
+	case <-hookRan:
+	default:
+		t.Fatal("drain hook never ran")
+	}
+
+	// The listener must be closed: new connections are refused.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("listener still accepting after drain")
+	}
+}
+
+// TestServeReturnsServerError asserts a server that fails on its own
+// (closed listener) surfaces the error without waiting for a signal.
+func TestServeReturnsServerError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close()
+	srv := &http.Server{Handler: http.NotFoundHandler()}
+	errc := make(chan error, 1)
+	go func() { errc <- Serve(srv, ln, time.Second) }()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("Serve returned nil on a dead listener")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve hung on a dead listener")
+	}
+}

@@ -1,0 +1,209 @@
+package labd
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"masterparasite/internal/artifact"
+)
+
+// API content types.
+const (
+	jsonContentType  = "application/json"
+	plainContentType = "text/plain; charset=utf-8"
+	sseContentType   = "text/event-stream"
+)
+
+// artifactContentType maps a render format to the content type the
+// artifact endpoint serves it under.
+func artifactContentType(format string) string {
+	switch format {
+	case "json":
+		return jsonContentType
+	case "csv":
+		return "text/csv; charset=utf-8"
+	case "md", "markdown":
+		return "text/markdown; charset=utf-8"
+	default:
+		return plainContentType
+	}
+}
+
+// Route dispatches one API request, appending the response body to dst
+// (whose capacity is reused). It is the transport-independent core
+// shared by the in-process Client, the httpsim Adapter, and ServeHTTP —
+// the same bytes flow through all three. Routes:
+//
+//	GET  /healthz                 → liveness ("ok")
+//	GET  /readyz                  → readiness (503 while draining)
+//	GET  /v1/specs                → artifact.Summaries() as JSON
+//	GET  /v1/specs/{id}           → one spec summary
+//	POST /v1/runs                 → enqueue (EnqueueRequest body), 202 + Record
+//	GET  /v1/runs                 → every run record, enqueue order
+//	GET  /v1/runs/{id}            → one run record
+//	GET  /v1/runs/{id}/artifact   → rendered artifact bytes (done runs)
+//	GET  /v1/runs/{id}/events     → recorded progress events, SSE-framed
+//
+// The events route returns the stage trail recorded so far as a
+// complete SSE-framed body; over real net/http, ServeHTTP upgrades the
+// same route to a live stream whose total bytes — once the run is
+// terminal — equal this snapshot exactly.
+func (s *Server) Route(method, path string, body []byte, dst []byte) (status int, contentType string, respBody []byte) {
+	p := strings.Trim(path, "/")
+	switch {
+	case p == "healthz":
+		return s.routeHealthz(method, dst)
+	case p == "readyz":
+		return s.routeReadyz(method, dst)
+	case p == "v1/specs":
+		return s.routeSpecs(method, dst)
+	case strings.HasPrefix(p, "v1/specs/"):
+		return s.routeSpec(method, strings.TrimPrefix(p, "v1/specs/"), dst)
+	case p == "v1/runs":
+		return s.routeRuns(method, body, dst)
+	case strings.HasPrefix(p, "v1/runs/"):
+		rest := strings.TrimPrefix(p, "v1/runs/")
+		id, sub, _ := strings.Cut(rest, "/")
+		switch sub {
+		case "":
+			return s.routeRun(method, id, dst)
+		case "artifact":
+			return s.routeArtifact(method, id, dst)
+		case "events":
+			return s.routeEvents(method, id, dst)
+		}
+	}
+	return errBody(dst, http.StatusNotFound, "404 page not found")
+}
+
+// errBody renders a small text body the way http.Error spells errors
+// on the wire (it also serves the healthz/readyz "ok").
+func errBody(dst []byte, status int, msg string) (int, string, []byte) {
+	dst = append(dst, msg...)
+	return status, plainContentType, append(dst, '\n')
+}
+
+// jsonBody marshals v as the response body (indented, trailing
+// newline — the same framing the manifest file uses).
+func jsonBody(dst []byte, status int, v any) (int, string, []byte) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return errBody(dst, http.StatusInternalServerError, err.Error())
+	}
+	dst = append(dst, b...)
+	return status, jsonContentType, append(dst, '\n')
+}
+
+func methodNotAllowed(dst []byte) (int, string, []byte) {
+	return errBody(dst, http.StatusMethodNotAllowed, "method not allowed")
+}
+
+func (s *Server) routeHealthz(method string, dst []byte) (int, string, []byte) {
+	if method != http.MethodGet {
+		return methodNotAllowed(dst)
+	}
+	return errBody(dst, http.StatusOK, "ok")
+}
+
+func (s *Server) routeReadyz(method string, dst []byte) (int, string, []byte) {
+	if method != http.MethodGet {
+		return methodNotAllowed(dst)
+	}
+	if !s.Ready() {
+		return errBody(dst, http.StatusServiceUnavailable, "draining")
+	}
+	return errBody(dst, http.StatusOK, "ok")
+}
+
+func (s *Server) routeSpecs(method string, dst []byte) (int, string, []byte) {
+	if method != http.MethodGet {
+		return methodNotAllowed(dst)
+	}
+	return jsonBody(dst, http.StatusOK, artifact.Summaries())
+}
+
+func (s *Server) routeSpec(method, id string, dst []byte) (int, string, []byte) {
+	if method != http.MethodGet {
+		return methodNotAllowed(dst)
+	}
+	spec, ok := artifact.Get(id)
+	if !ok {
+		return errBody(dst, http.StatusNotFound, "unknown spec "+id)
+	}
+	return jsonBody(dst, http.StatusOK, spec.Summary())
+}
+
+func (s *Server) routeRuns(method string, body, dst []byte) (int, string, []byte) {
+	switch method {
+	case http.MethodGet:
+		return jsonBody(dst, http.StatusOK, s.List())
+	case http.MethodPost:
+		var req EnqueueRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return errBody(dst, http.StatusBadRequest, "bad request body: "+err.Error())
+		}
+		rec, err := s.Enqueue(req)
+		if err != nil {
+			if s.draining.Load() {
+				return errBody(dst, http.StatusServiceUnavailable, err.Error())
+			}
+			return errBody(dst, http.StatusBadRequest, err.Error())
+		}
+		return jsonBody(dst, http.StatusAccepted, rec)
+	default:
+		return methodNotAllowed(dst)
+	}
+}
+
+func (s *Server) routeRun(method, id string, dst []byte) (int, string, []byte) {
+	if method != http.MethodGet {
+		return methodNotAllowed(dst)
+	}
+	rec, ok := s.Get(id)
+	if !ok {
+		return errBody(dst, http.StatusNotFound, "unknown run "+id)
+	}
+	return jsonBody(dst, http.StatusOK, rec)
+}
+
+func (s *Server) routeArtifact(method, id string, dst []byte) (int, string, []byte) {
+	if method != http.MethodGet {
+		return methodNotAllowed(dst)
+	}
+	b, rec, err := s.Artifact(id)
+	if err != nil {
+		if rec == nil {
+			return errBody(dst, http.StatusNotFound, err.Error())
+		}
+		return errBody(dst, http.StatusConflict, err.Error())
+	}
+	return http.StatusOK, artifactContentType(rec.Format), append(dst, b...)
+}
+
+func (s *Server) routeEvents(method, id string, dst []byte) (int, string, []byte) {
+	if method != http.MethodGet {
+		return methodNotAllowed(dst)
+	}
+	rec, ok := s.Get(id)
+	if !ok {
+		return errBody(dst, http.StatusNotFound, "unknown run "+id)
+	}
+	for _, ev := range eventsFromStages(id, rec.Stages) {
+		dst = AppendSSE(dst, ev)
+	}
+	return http.StatusOK, sseContentType, dst
+}
+
+// SetResponseHeaders applies the API's response-header policy via set.
+// Like cnc.SetResponseHeaders it is the single source of truth shared
+// by ServeHTTP and the httpsim Adapter, so the transports cannot
+// silently diverge on the wire: run state must never be cached, and
+// error bodies are never sniffed.
+func SetResponseHeaders(status int, contentType string, set func(key, value string)) {
+	set("Content-Type", contentType)
+	set("Cache-Control", "no-store")
+	if status >= 400 {
+		set("X-Content-Type-Options", "nosniff")
+	}
+}

@@ -1,0 +1,400 @@
+// Package labd is the attack-lab orchestrator: a long-lived serving
+// layer in front of the batch artifact registry. Where cmd/experiments
+// regenerates artifacts one process per run, labd accepts run requests
+// over an HTTP API, validates them up front against the
+// internal/artifact registry, drains a FIFO job queue through a bounded
+// set of scenario fleets (each run gets its own internal/runner pool),
+// persists every run as a durable crash-safe record — status, resolved
+// params, stage timestamps, and the rendered artifact with its
+// manifest-style SHA-256 fingerprint — and streams progress events
+// (queued → running → rendering → done/failed) as Server-Sent Events.
+//
+// The transport boundary is pluggable the way cnc.MasterServer.Route
+// is: Route is the transport-independent core dispatch, shared
+// verbatim by the in-process Client (unit tests, zero sockets), the
+// httpsim Adapter (the packet simulation), and ServeHTTP (the real
+// net/http daemon, cmd/labd). A deterministic artifact enqueued through
+// any of the three renders byte-identically to the batch CLI — the
+// record's fingerprint equals the cmd/experiments manifest entry for
+// the same spec, params, and format at any worker count.
+package labd
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"masterparasite/internal/artifact"
+	"masterparasite/internal/runner"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// StoreDir is the durable run-record directory (required).
+	StoreDir string
+	// Fleets bounds how many runs execute concurrently — the number of
+	// scheduler goroutines draining the queue. <= 0 selects 2.
+	Fleets int
+	// Workers is the per-run scenario pool width handed to
+	// runner.New (0 = GOMAXPROCS, 1 = sequential). Deterministic
+	// artifacts render identically at any value.
+	Workers int
+	// Now is the clock used for stage timestamps; nil selects
+	// time.Now. Tests inject a fixed clock to make event bytes
+	// deterministic across transports.
+	Now func() time.Time
+}
+
+// Server is the orchestrator: store + index, queue, fleets, events.
+// Construct with Open, which also recovers state from a previous
+// process: still-queued runs are re-enqueued, runs that were mid-flight
+// when the process died are marked failed ("interrupted by restart").
+type Server struct {
+	cfg   Config
+	store *Store
+
+	mu    sync.Mutex
+	recs  map[string]*Record
+	order []string // run IDs in enqueue order
+	seq   int
+	subs  subscribers
+
+	queue *fifo
+	wg    sync.WaitGroup
+
+	ready    atomic.Bool
+	draining atomic.Bool
+}
+
+// Open loads (or creates) the store, recovers queued work from a
+// previous process, and starts the fleet goroutines.
+func Open(cfg Config) (*Server, error) {
+	if cfg.Fleets <= 0 {
+		cfg.Fleets = 2
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	store, err := OpenStore(cfg.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := store.Load()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: store,
+		recs:  make(map[string]*Record, len(recs)),
+		seq:   NextSeq(recs),
+		subs:  make(subscribers),
+		queue: newFIFO(),
+	}
+	for _, r := range recs {
+		switch r.Status {
+		case StatusQueued:
+			// Never started: resume exactly where the last process
+			// left off.
+			s.queue.Push(r.ID)
+		case StatusRunning, StatusRendering:
+			// The owning process died mid-run; the run cannot be
+			// resumed (scenario state was in memory), so latch the
+			// failure durably.
+			r.Status = StatusFailed
+			r.Error = "interrupted by restart"
+			r.Stages = append(r.Stages, Stage{Stage: StatusFailed, At: cfg.Now().UTC(), Detail: r.Error})
+			if err := store.PutRecord(r); err != nil {
+				return nil, err
+			}
+		}
+		s.recs[r.ID] = r
+		s.order = append(s.order, r.ID)
+	}
+	for i := 0; i < cfg.Fleets; i++ {
+		s.wg.Add(1)
+		go s.fleet()
+	}
+	s.ready.Store(true)
+	return s, nil
+}
+
+// Store exposes the underlying run store (read-only use).
+func (s *Server) Store() *Store { return s.store }
+
+// Ready reports whether the server accepts and executes work: true
+// after Open succeeds, false once draining begins.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// Close drains the daemon: the queue stops handing out work (queued
+// runs stay durably queued for the next process), in-flight runs finish,
+// and Close returns when every fleet goroutine has exited or ctx
+// expires — in which case the error reports how many runs were still
+// in flight; their records latch "interrupted by restart" on next Open.
+func (s *Server) Close(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("labd: drain timed out: %w", ctx.Err())
+	}
+}
+
+// EnqueueRequest is the POST /v1/runs body: which spec to run, param
+// overrides, an optional seed (sugar for the "seed" param — rejected if
+// the spec declares none), and the render format.
+type EnqueueRequest struct {
+	Spec   string         `json:"spec"`
+	Params map[string]int `json:"params,omitempty"`
+	Seed   int            `json:"seed,omitempty"`
+	Format string         `json:"format,omitempty"`
+}
+
+// Enqueue validates a run request fully up front — spec exists, every
+// override names a declared param, values clear their minima, the
+// format has a renderer — then durably records the run as queued and
+// hands it to the fleet queue. Nothing invalid ever enters the queue.
+func (s *Server) Enqueue(req EnqueueRequest) (*Record, error) {
+	spec, ok := artifact.Get(req.Spec)
+	if !ok {
+		return nil, fmt.Errorf("unknown spec %q (known: %s)", req.Spec, strings.Join(artifact.IDs(), " "))
+	}
+	declared := make(map[string]bool, len(spec.Params))
+	for _, p := range spec.Params {
+		declared[p.Name] = true
+	}
+	overrides := make(map[string]int, len(req.Params)+1)
+	for name, v := range req.Params {
+		if !declared[name] {
+			return nil, fmt.Errorf("spec %s declares no param %q", req.Spec, name)
+		}
+		overrides[name] = v
+	}
+	if req.Seed != 0 {
+		if !declared["seed"] {
+			return nil, fmt.Errorf("spec %s declares no seed param", req.Spec)
+		}
+		overrides["seed"] = req.Seed
+	}
+	format := req.Format
+	if format == "" {
+		format = "text"
+	}
+	if _, err := artifact.RendererFor(format); err != nil {
+		return nil, err
+	}
+	// Resolve defaults and validate bounds exactly as the batch CLI
+	// does; the runner is not needed for validation.
+	env, err := spec.NewEnv(nil, overrides)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("draining: not accepting new runs")
+	}
+	rec := &Record{
+		ID:            RunID(s.seq),
+		Spec:          spec.ID,
+		Title:         spec.Title,
+		Section:       spec.Section,
+		Params:        env.Params(),
+		Seed:          spec.Seed,
+		Deterministic: spec.Deterministic,
+		Format:        format,
+		Status:        StatusQueued,
+		Stages:        []Stage{{Stage: StatusQueued, At: s.cfg.Now().UTC()}},
+	}
+	s.seq++
+	s.recs[rec.ID] = rec
+	s.order = append(s.order, rec.ID)
+	err = s.store.PutRecord(rec)
+	snap := rec.Clone()
+	if err == nil {
+		s.subs.publish(rec.ID, Event{Run: rec.ID, Stage: StatusQueued, At: rec.Stages[0].At})
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	s.queue.Push(rec.ID)
+	return snap, nil
+}
+
+// Get returns a snapshot of one run record.
+func (s *Server) Get(id string) (*Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[id]
+	if !ok {
+		return nil, false
+	}
+	return rec.Clone(), true
+}
+
+// List returns snapshots of every record in enqueue order.
+func (s *Server) List() []*Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Record, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.recs[id].Clone()
+	}
+	return out
+}
+
+// QueueLen reports how many runs are waiting for a fleet.
+func (s *Server) QueueLen() int { return s.queue.Len() }
+
+// Artifact returns the rendered bytes of a done run.
+func (s *Server) Artifact(id string) ([]byte, *Record, error) {
+	rec, ok := s.Get(id)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown run %q", id)
+	}
+	if rec.Status != StatusDone {
+		return nil, rec, fmt.Errorf("run %s is %s, not done", id, rec.Status)
+	}
+	b, err := s.store.GetArtifact(id)
+	if err != nil {
+		return nil, rec, err
+	}
+	return b, rec, nil
+}
+
+// Subscribe returns the run's event stream: its recorded stages so far
+// are replayed immediately, live transitions follow, and the channel
+// closes after the terminal event. The second return is false for an
+// unknown run.
+func (s *Server) Subscribe(id string) (<-chan Event, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[id]
+	if !ok {
+		return nil, false
+	}
+	ch := make(chan Event, maxStages)
+	for _, ev := range eventsFromStages(id, rec.Stages) {
+		ch <- ev
+	}
+	if rec.Status.Terminal() {
+		close(ch)
+	} else {
+		s.subs.add(id, ch)
+	}
+	return ch, true
+}
+
+// Wait blocks until the run reaches a terminal status (or ctx expires)
+// and returns its final record snapshot.
+func (s *Server) Wait(ctx context.Context, id string) (*Record, error) {
+	ch, ok := s.Subscribe(id)
+	if !ok {
+		return nil, fmt.Errorf("unknown run %q", id)
+	}
+	for {
+		select {
+		case _, open := <-ch:
+			if !open {
+				rec, _ := s.Get(id)
+				return rec, nil
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// setStage appends a lifecycle transition, durably persists the record,
+// and publishes the event to live subscribers.
+func (s *Server) setStage(id string, st Status, detail string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.recs[id]
+	now := s.cfg.Now().UTC()
+	rec.Status = st
+	if st == StatusFailed {
+		rec.Error = detail
+	}
+	rec.Stages = append(rec.Stages, Stage{Stage: st, At: now, Detail: detail})
+	// A failed store write must not kill the daemon mid-run; the
+	// in-memory record stays authoritative and the next transition
+	// retries the write.
+	_ = s.store.PutRecord(rec)
+	s.subs.publish(id, Event{Run: id, Stage: st, At: now, Detail: detail})
+}
+
+// fleet is one scheduler goroutine: pop → execute, until the queue
+// closes.
+func (s *Server) fleet() {
+	defer s.wg.Done()
+	for {
+		id, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.execute(id)
+	}
+}
+
+// execute drives one run through running → rendering → done/failed.
+func (s *Server) execute(id string) {
+	s.mu.Lock()
+	rec := s.recs[id]
+	specID, format, overrides := rec.Spec, rec.Format, rec.Clone().Params
+	s.mu.Unlock()
+
+	spec, ok := artifact.Get(specID)
+	if !ok { // cannot happen: Enqueue validated against the registry
+		s.setStage(id, StatusFailed, fmt.Sprintf("spec %q vanished from the registry", specID))
+		return
+	}
+	s.setStage(id, StatusRunning, "")
+	pool := runner.New(s.cfg.Workers)
+	env, err := spec.NewEnv(pool, overrides)
+	if err != nil {
+		s.setStage(id, StatusFailed, err.Error())
+		return
+	}
+	res, err := spec.Exec(env)
+	if err != nil {
+		s.setStage(id, StatusFailed, err.Error())
+		return
+	}
+
+	s.setStage(id, StatusRendering, format)
+	renderer, err := artifact.RendererFor(format)
+	if err != nil { // cannot happen: Enqueue validated the format
+		s.setStage(id, StatusFailed, err.Error())
+		return
+	}
+	var buf bytes.Buffer
+	if err := renderer.Render(&buf, res); err != nil {
+		s.setStage(id, StatusFailed, err.Error())
+		return
+	}
+	rendered := buf.Bytes()
+	if err := s.store.PutArtifact(id, rendered); err != nil {
+		s.setStage(id, StatusFailed, err.Error())
+		return
+	}
+	fp := artifact.Fingerprint(rendered)
+	s.mu.Lock()
+	rec.Bytes = len(rendered)
+	rec.SHA256 = fp
+	s.mu.Unlock()
+	s.setStage(id, StatusDone, "sha256:"+fp)
+}

@@ -1,0 +1,49 @@
+package labd
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFIFOOrderAndClose(t *testing.T) {
+	t.Parallel()
+	q := newFIFO()
+	for _, id := range []string{"a", "b", "c"} {
+		q.Push(id)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		got, ok := q.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %q,%v want %q", got, ok, want)
+		}
+	}
+	q.Push("d")
+	q.Close()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop succeeded on a closed queue")
+	}
+	q.Push("e") // no-op after close
+	if _, ok := q.Pop(); ok {
+		t.Fatal("push after close enqueued work")
+	}
+}
+
+func TestFIFOCloseWakesBlockedPoppers(t *testing.T) {
+	t.Parallel()
+	q := newFIFO()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := q.Pop(); ok {
+				t.Error("blocked pop returned work from an empty closed queue")
+			}
+		}()
+	}
+	q.Close()
+	wg.Wait()
+}

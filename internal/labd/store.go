@@ -1,0 +1,127 @@
+package labd
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store persists run records and rendered artifacts in a directory, one
+// run per record file:
+//
+//	<dir>/run-000042.json  — the Record (indented JSON)
+//	<dir>/run-000042.out   — the rendered artifact bytes (once done)
+//
+// Writes are crash-safe: every file is written to a same-directory
+// ".tmp" path and atomically renamed into place, so a record file on
+// disk is always a complete JSON document — a crash can lose the very
+// latest transition, never corrupt a record. The Store itself does no
+// locking; the Server serialises writes per run (each run is owned by
+// exactly one fleet goroutine after enqueue).
+type Store struct {
+	dir string
+}
+
+// OpenStore creates the directory if needed and returns a store on it.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("labd: store directory must be set")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("labd store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) recordPath(id string) string   { return filepath.Join(s.dir, id+".json") }
+func (s *Store) artifactPath(id string) string { return filepath.Join(s.dir, id+".out") }
+
+// writeAtomic writes data to path via a temporary file and rename, so
+// readers (and a restarted daemon) never observe a partial file.
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// PutRecord durably writes one run record.
+func (s *Store) PutRecord(r *Record) error {
+	if err := writeAtomic(s.recordPath(r.ID), encodeRecord(r)); err != nil {
+		return fmt.Errorf("labd store: record %s: %w", r.ID, err)
+	}
+	return nil
+}
+
+// PutArtifact durably writes a run's rendered artifact bytes.
+func (s *Store) PutArtifact(id string, rendered []byte) error {
+	if err := writeAtomic(s.artifactPath(id), rendered); err != nil {
+		return fmt.Errorf("labd store: artifact %s: %w", id, err)
+	}
+	return nil
+}
+
+// GetArtifact reads a run's rendered artifact bytes.
+func (s *Store) GetArtifact(id string) ([]byte, error) {
+	b, err := os.ReadFile(s.artifactPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("labd store: artifact %s: %w", id, err)
+	}
+	return b, nil
+}
+
+// Load reads every record in the directory, sorted by run ID (IDs are
+// zero-padded, so lexicographic order is enqueue order). Leftover ".tmp"
+// files from a crash mid-write are removed; unreadable or non-record
+// files are skipped rather than failing the whole daemon start.
+func (s *Store) Load() ([]*Record, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("labd store: %w", err)
+	}
+	var recs []*Record
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			_ = os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if !strings.HasPrefix(name, "run-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(b, &r); err != nil || r.ID == "" {
+			continue
+		}
+		recs = append(recs, &r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs, nil
+}
+
+// NextSeq returns the next run sequence number after every record
+// returned by Load — max existing + 1, so restarts never reuse an ID.
+func NextSeq(recs []*Record) int {
+	next := 1
+	for _, r := range recs {
+		var n int
+		if _, err := fmt.Sscanf(r.ID, "run-%d", &n); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return next
+}
+
+// RunID formats a run sequence number as a stable, sortable run ID.
+func RunID(seq int) string { return fmt.Sprintf("run-%06d", seq) }

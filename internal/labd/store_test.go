@@ -1,0 +1,117 @@
+package labd_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"masterparasite/internal/labd"
+)
+
+// TestStoreReloadServesFinishedRuns locks durability: a done run's
+// record and rendered artifact survive a daemon restart byte-for-byte.
+func TestStoreReloadServesFinishedRuns(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	srv := openServer(t, labd.Config{StoreDir: dir})
+	rec, err := srv.Enqueue(labd.EnqueueRequest{Spec: "labd-t-ok", Format: "csv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, srv, rec.ID)
+	body, _, err := srv.Artifact(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := openServer(t, labd.Config{StoreDir: dir})
+	got, ok := srv2.Get(rec.ID)
+	if !ok {
+		t.Fatalf("record %s lost across restart", rec.ID)
+	}
+	if got.Status != labd.StatusDone || got.SHA256 != final.SHA256 || len(got.Stages) != len(final.Stages) {
+		t.Fatalf("reloaded record diverges:\ngot  %+v\nwant %+v", got, final)
+	}
+	body2, _, err := srv2.Artifact(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body2) != string(body) {
+		t.Fatal("reloaded artifact bytes diverge")
+	}
+	// New runs must not reuse IDs from the previous process.
+	rec2, err := srv2.Enqueue(labd.EnqueueRequest{Spec: "labd-t-ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.ID <= rec.ID {
+		t.Fatalf("restarted server reused ID space: %s after %s", rec2.ID, rec.ID)
+	}
+}
+
+// TestRestartRecovery locks the crash contract: runs still queued when
+// the process died are resumed and executed by the next process; runs
+// that were mid-flight latch a durable "interrupted by restart" failure.
+func TestRestartRecovery(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	store, err := labd.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	queued := &labd.Record{
+		ID: "run-000007", Spec: "labd-t-ok", Format: "text",
+		Params: map[string]int{"labd-n": 2, "labd-seed": 1},
+		Status: labd.StatusQueued,
+		Stages: []labd.Stage{{Stage: labd.StatusQueued, At: at}},
+	}
+	running := &labd.Record{
+		ID: "run-000003", Spec: "labd-t-ok", Format: "text",
+		Params: map[string]int{"labd-n": 2, "labd-seed": 1},
+		Status: labd.StatusRunning,
+		Stages: []labd.Stage{
+			{Stage: labd.StatusQueued, At: at},
+			{Stage: labd.StatusRunning, At: at.Add(time.Second)},
+		},
+	}
+	for _, r := range []*labd.Record{queued, running} {
+		if err := store.PutRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A crash mid-write leaves a .tmp file; Open must sweep it.
+	tmp := filepath.Join(dir, "run-000009.json.tmp")
+	if err := os.WriteFile(tmp, []byte(`{"id":"run-0000`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := openServer(t, labd.Config{StoreDir: dir})
+	interrupted, ok := srv.Get("run-000003")
+	if !ok || interrupted.Status != labd.StatusFailed || !strings.Contains(interrupted.Error, "interrupted by restart") {
+		t.Fatalf("mid-flight run not latched failed: %+v", interrupted)
+	}
+	resumed := waitDone(t, srv, "run-000007")
+	if resumed.Status != labd.StatusDone {
+		t.Fatalf("queued run not resumed: %+v", resumed)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale .tmp not swept: %v", err)
+	}
+	// Fresh IDs start after the highest recovered sequence.
+	rec, err := srv.Enqueue(labd.EnqueueRequest{Spec: "labd-t-ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != "run-000008" {
+		t.Fatalf("next ID = %s, want run-000008", rec.ID)
+	}
+}

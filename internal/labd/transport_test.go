@@ -1,0 +1,383 @@
+package labd_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"masterparasite/internal/artifact"
+	_ "masterparasite/internal/experiments" // registers the paper's artifacts (flows)
+	"masterparasite/internal/httpsim"
+	"masterparasite/internal/labd"
+	"masterparasite/internal/netsim"
+	"masterparasite/internal/runner"
+	"masterparasite/internal/tcpsim"
+)
+
+// doFunc issues one API request over some transport and returns the
+// transport-independent response triple.
+type doFunc func(t *testing.T, method, path string, body []byte) labd.Response
+
+// inprocTransport dispatches through the in-process Client.
+func inprocTransport(srv *labd.Server) doFunc {
+	client := labd.NewClient(srv)
+	return func(_ *testing.T, method, path string, body []byte) labd.Response {
+		return client.Do(method, path, body)
+	}
+}
+
+// simTransport serves the API over httpsim inside a two-host netsim
+// world and issues each request as real HTTP/1.1 bytes across the
+// simulated segment.
+func simTransport(t *testing.T, srv *labd.Server) doFunc {
+	t.Helper()
+	world := netsim.New()
+	seg := world.MustSegment("lab-lan", 200*time.Microsecond)
+	srvStack := tcpsim.NewStack(world, seg.MustAttach("10.0.0.2", 0, nil), tcpsim.WithSeed(7))
+	if _, err := httpsim.NewServer(srvStack, 80, labd.Adapter(srv)); err != nil {
+		t.Fatal(err)
+	}
+	cliStack := tcpsim.NewStack(world, seg.MustAttach("10.0.0.1", 0, nil), tcpsim.WithSeed(9))
+	client := httpsim.NewClient(cliStack)
+	return func(t *testing.T, method, path string, body []byte) labd.Response {
+		t.Helper()
+		req := httpsim.NewRequest(method, "labd.sim", path)
+		req.Body = body
+		var out labd.Response
+		got := false
+		client.Do("10.0.0.2", 80, req, func(resp *httpsim.Response, err error) {
+			if err != nil {
+				t.Errorf("sim request %s %s: %v", method, path, err)
+				return
+			}
+			out = labd.Response{
+				Status:      resp.StatusCode,
+				ContentType: resp.Header.Get("Content-Type"),
+				Body:        append([]byte(nil), resp.Body...),
+			}
+			got = true
+		})
+		world.Run(0)
+		if !got {
+			t.Fatalf("sim request %s %s: no response delivered", method, path)
+		}
+		return out
+	}
+}
+
+// httpTransport serves the daemon on a real loopback socket and issues
+// each request through net/http.
+func httpTransport(t *testing.T, srv *labd.Server) doFunc {
+	t.Helper()
+	base, shutdown, err := srv.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = shutdown() })
+	return func(t *testing.T, method, path string, body []byte) labd.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		defer resp.Body.Close()
+		respBody, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return labd.Response{
+			Status:      resp.StatusCode,
+			ContentType: resp.Header.Get("Content-Type"),
+			Body:        respBody,
+		}
+	}
+}
+
+// driveScript runs the deterministic request sequence every transport
+// must answer identically: health, spec introspection, enqueue, then —
+// after the run completes — record, events, artifact, and the run list.
+func driveScript(t *testing.T, srv *labd.Server, do doFunc) []labd.Response {
+	t.Helper()
+	var out []labd.Response
+	step := func(method, path string, body []byte) {
+		out = append(out, do(t, method, path, body))
+	}
+	step("GET", "/healthz", nil)
+	step("GET", "/readyz", nil)
+	step("GET", "/v1/specs", nil)
+	step("GET", "/v1/specs/labd-t-ok", nil)
+	step("GET", "/v1/specs/labd-t-missing", nil)
+	step("POST", "/v1/runs", []byte(`{"spec":"labd-t-ok","params":{"labd-n":4},"format":"json"}`))
+	step("POST", "/v1/runs", []byte(`{"spec":"nope"}`))
+
+	waitDone(t, srv, "run-000001")
+	step("GET", "/v1/runs/run-000001", nil)
+	step("GET", "/v1/runs/run-000001/events", nil)
+	step("GET", "/v1/runs/run-000001/artifact", nil)
+	step("GET", "/v1/runs", nil)
+	step("GET", "/v1/runs/run-999999", nil)
+	step("PUT", "/v1/runs", nil)
+	return out
+}
+
+// TestTransportsAreByteIdentical is the seam proof: the same request
+// sequence against three fresh daemons — one per transport, all with
+// the same deterministic clock — produces byte-identical status,
+// content type, and body at every step, and the served artifact
+// fingerprint equals the batch CLI's manifest entry.
+func TestTransportsAreByteIdentical(t *testing.T) {
+	t.Parallel()
+	transports := []struct {
+		name string
+		run  func(t *testing.T, srv *labd.Server) doFunc
+	}{
+		{"inproc", func(_ *testing.T, srv *labd.Server) doFunc { return inprocTransport(srv) }},
+		{"httpsim", simTransport},
+		{"nethttp", httpTransport},
+	}
+	results := make([][]labd.Response, len(transports))
+	for i, tr := range transports {
+		srv := openServer(t, labd.Config{Workers: 1})
+		results[i] = driveScript(t, srv, tr.run(t, srv))
+	}
+	for i := 1; i < len(results); i++ {
+		if len(results[i]) != len(results[0]) {
+			t.Fatalf("%s answered %d steps, %s answered %d",
+				transports[i].name, len(results[i]), transports[0].name, len(results[0]))
+		}
+		for step := range results[i] {
+			a, b := results[0][step], results[i][step]
+			if a.Status != b.Status || a.ContentType != b.ContentType || !bytes.Equal(a.Body, b.Body) {
+				t.Errorf("step %d: %s and %s diverge:\n%s: %d %s %q\n%s: %d %s %q",
+					step, transports[0].name, transports[i].name,
+					transports[0].name, a.Status, a.ContentType, a.Body,
+					transports[i].name, b.Status, b.ContentType, b.Body)
+			}
+		}
+	}
+
+	// The artifact step (index 9) must match the batch CLI byte-for-byte.
+	spec, _ := artifact.Get("labd-t-ok")
+	renderer, _ := artifact.RendererFor("json")
+	res, rendered, err := artifact.RunRendered(spec, runner.New(1), map[string]int{"labd-n": 4}, renderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := artifact.NewManifest("json", 1)
+	manifest.Add(spec, res, rendered)
+	if got := results[0][9]; !bytes.Equal(got.Body, rendered) {
+		t.Fatalf("served artifact diverges from batch render:\n%q\nvs\n%q", got.Body, rendered)
+	}
+	if got, want := artifact.Fingerprint(results[0][9].Body), manifest.Artifacts[0].SHA256; got != want {
+		t.Fatalf("served fingerprint %s != batch manifest %s", got, want)
+	}
+}
+
+// TestRealArtifactOverRealHTTPMatchesBatchManifest enqueues a genuine
+// registry artifact (the paper's message-flows figure) through the real
+// net/http daemon and asserts the rendered bytes carry the same SHA-256
+// the batch CLI's manifest records — the acceptance criterion verbatim.
+func TestRealArtifactOverRealHTTPMatchesBatchManifest(t *testing.T) {
+	t.Parallel()
+	srv := openServer(t, labd.Config{Workers: 1})
+	do := httpTransport(t, srv)
+
+	resp := do(t, "POST", "/v1/runs", []byte(`{"spec":"flows","format":"text"}`))
+	if resp.Status != http.StatusAccepted {
+		t.Fatalf("enqueue = %d %q", resp.Status, resp.Body)
+	}
+	if !strings.Contains(string(resp.Body), `"id": "run-000001"`) {
+		t.Fatalf("enqueue response: %q", resp.Body)
+	}
+	final := waitDone(t, srv, "run-000001")
+	if final.Status != labd.StatusDone {
+		t.Fatalf("flows run failed: %+v", final)
+	}
+
+	got := do(t, "GET", "/v1/runs/run-000001/artifact", nil)
+	spec, _ := artifact.Get("flows")
+	renderer, _ := artifact.RendererFor("text")
+	res, rendered, err := artifact.RunRendered(spec, runner.New(1), nil, renderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := artifact.NewManifest("text", 1)
+	manifest.Add(spec, res, rendered)
+	if !bytes.Equal(got.Body, rendered) {
+		t.Fatal("flows artifact served over net/http diverges from the batch render")
+	}
+	if final.SHA256 != manifest.Artifacts[0].SHA256 {
+		t.Fatalf("served fingerprint %s != batch manifest %s", final.SHA256, manifest.Artifacts[0].SHA256)
+	}
+}
+
+// TestLiveSSEMatchesSnapshot subscribes to a run's event stream over a
+// real socket while the run executes: the streamed bytes, read live
+// until the server closes the stream after the terminal event, must
+// equal the transport-independent Route snapshot of the finished run.
+func TestLiveSSEMatchesSnapshot(t *testing.T) {
+	t.Parallel()
+	srv := openServer(t, labd.Config{Fleets: 1, Workers: 1})
+	base, shutdown, err := srv.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = shutdown() })
+
+	rec, err := srv.Enqueue(labd.EnqueueRequest{Spec: "labd-t-ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(base + "/v1/runs/" + rec.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	streamed, err := io.ReadAll(resp.Body) // returns at terminal-event close
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, ctype, snapshot := srv.Route("GET", "/v1/runs/"+rec.ID+"/events", nil, nil)
+	if status != http.StatusOK || ctype != "text/event-stream" {
+		t.Fatalf("snapshot route = %d %s", status, ctype)
+	}
+	if !bytes.Equal(streamed, snapshot) {
+		t.Fatalf("live SSE stream diverges from snapshot:\nlive:\n%s\nsnapshot:\n%s", streamed, snapshot)
+	}
+	for _, want := range []string{"event: queued", "event: running", "event: rendering", "event: done", "sha256:"} {
+		if !strings.Contains(string(streamed), want) {
+			t.Errorf("stream missing %q:\n%s", want, streamed)
+		}
+	}
+}
+
+// TestConcurrentClientsOverRealHTTP is the race gate: many concurrent
+// clients enqueue runs, stream their events, poll records, and fetch
+// artifacts over a real socket while two fleets drain the queue. Run
+// under -race this exercises every cross-goroutine seam in the daemon.
+func TestConcurrentClientsOverRealHTTP(t *testing.T) {
+	t.Parallel()
+	srv := openServer(t, labd.Config{Fleets: 2, Workers: 1, Now: time.Now})
+	base, shutdown, err := srv.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = shutdown() })
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			fail := func(format string, args ...any) {
+				errs <- fmt.Errorf("client %d: "+format, append([]any{c}, args...)...)
+			}
+			body := fmt.Sprintf(`{"spec":"labd-t-ok","params":{"labd-n":%d,"labd-seed":%d},"format":"json"}`, c+1, c+2)
+			resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(body))
+			if err != nil {
+				fail("enqueue: %v", err)
+				return
+			}
+			enq, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				fail("enqueue = %d %q", resp.StatusCode, enq)
+				return
+			}
+			id := runIDFromJSON(string(enq))
+			if id == "" {
+				fail("no id in %q", enq)
+				return
+			}
+
+			// Stream events until the terminal stage closes the body.
+			stream, err := http.Get(base + "/v1/runs/" + id + "/events")
+			if err != nil {
+				fail("stream: %v", err)
+				return
+			}
+			sse, _ := io.ReadAll(stream.Body)
+			stream.Body.Close()
+			if !strings.Contains(string(sse), "event: done") {
+				fail("stream ended without done:\n%s", sse)
+				return
+			}
+
+			// The record must now be terminal and the artifact match the
+			// batch render for this client's params.
+			rec, err := http.Get(base + "/v1/runs/" + id)
+			if err != nil {
+				fail("record: %v", err)
+				return
+			}
+			recBody, _ := io.ReadAll(rec.Body)
+			rec.Body.Close()
+			if !strings.Contains(string(recBody), `"status": "done"`) {
+				fail("record not done after stream close: %q", recBody)
+				return
+			}
+			art, err := http.Get(base + "/v1/runs/" + id + "/artifact")
+			if err != nil {
+				fail("artifact: %v", err)
+				return
+			}
+			artBody, _ := io.ReadAll(art.Body)
+			art.Body.Close()
+
+			spec, _ := artifact.Get("labd-t-ok")
+			renderer, _ := artifact.RendererFor("json")
+			_, rendered, err := artifact.RunRendered(spec, runner.New(1),
+				map[string]int{"labd-n": c + 1, "labd-seed": c + 2}, renderer)
+			if err != nil {
+				fail("batch render: %v", err)
+				return
+			}
+			if !bytes.Equal(artBody, rendered) {
+				fail("artifact diverges from batch render")
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatalf("drain after load: %v", err)
+	}
+}
+
+// runIDFromJSON pulls the "id" field out of an enqueue response without
+// a full decode (the concurrent clients stay dependency-light).
+func runIDFromJSON(s string) string {
+	const key = `"id": "`
+	i := strings.Index(s, key)
+	if i < 0 {
+		return ""
+	}
+	rest := s[i+len(key):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}

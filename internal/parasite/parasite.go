@@ -9,6 +9,7 @@ package parasite
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -89,12 +90,14 @@ func (r *Registry) Config(id string) (*Config, bool) {
 	return c, ok
 }
 
-// InfectedOrigins lists origins where the strain has executed for a bot.
+// InfectedOrigins lists origins where the strain has executed for a
+// bot, sorted so callers can log or compare the set deterministically.
 func (r *Registry) InfectedOrigins(botID string) []string {
 	var out []string
 	for o := range r.infectedOrigins[botID] {
 		out = append(out, o)
 	}
+	sort.Strings(out)
 	return out
 }
 
