@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt-check doclint test test-short race bench bench-json bench-smoke artifacts labd labd-smoke ci
+.PHONY: build vet fmt-check doclint test test-short race bench bench-json bench-smoke soak-smoke artifacts labd labd-smoke ci
 
 ## build: compile every package and command
 build:
@@ -51,6 +51,13 @@ bench-json:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
+## soak-smoke: the short soak gate — a few thousand retransmitting
+## echo rounds over a lossy, duplicating link, with the frame-pool
+## acquire/release counters required to balance (the full ≥10⁶-event
+## soak with ISN wraparound runs in `make test` via TestSoakLongHorizon)
+soak-smoke:
+	$(GO) test -short -run 'TestSoak' ./internal/experiments
+
 ## artifacts: regenerate every artifact (short sizes) as JSON plus the
 ## run manifest into dist/, and record the scripted kill chain as a
 ## replay log with its divergence fingerprint — what CI uploads as the
@@ -73,10 +80,11 @@ labd-smoke:
 
 ## ci: what .github/workflows/ci.yml runs — gofmt + vet + doclint, build,
 ## race tests on the short corpora (the full-size crawl would dominate the
-## race run), a single-iteration benchmark smoke pass, the serving smoke
-## gate, and the artifact regeneration
+## race run), a single-iteration benchmark smoke pass, the short soak
+## gate, the serving smoke gate, and the artifact regeneration
 ci: fmt-check vet doclint build
 	$(GO) test -short -race ./...
 	$(MAKE) bench-smoke
+	$(MAKE) soak-smoke
 	$(MAKE) labd-smoke
 	$(MAKE) artifacts

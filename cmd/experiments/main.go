@@ -10,6 +10,7 @@
 //	experiments -run all -manifest manifest.json
 //	experiments -record killchain.replay -seed 97
 //	experiments -replay killchain.replay -seed 97 -perturb 15ms
+//	experiments -record lossy.replay -seed 97 -conditions coffee-shop-wifi
 //	experiments replay fingerprint killchain.replay
 //	experiments replay diff a.replay b.replay
 //	experiments replay drive killchain.replay -time-div 8
@@ -34,7 +35,9 @@
 // -record captures the scripted kill-chain run as an append-only
 // wire-event log plus its divergence fingerprint (FILE.fp); -replay
 // re-executes the scenario live against such a log and fails at the
-// exact divergent event (use -perturb to inject one deliberately). The
+// exact divergent event (use -perturb to inject one deliberately;
+// -conditions <profile> instead records/replays under a named link
+// fault preset with retransmission enabled). The
 // `replay` verb operates on logs offline: fingerprint, diff between two
 // logs, and stub-driven replay with time compression and perturbations
 // (see internal/replay and docs/ARCHITECTURE.md).
@@ -50,6 +53,7 @@ import (
 
 	"masterparasite/internal/artifact"
 	_ "masterparasite/internal/experiments" // self-registers the paper's artifacts
+	"masterparasite/internal/netsim"
 	"masterparasite/internal/runner"
 )
 
@@ -69,6 +73,7 @@ func run(args []string, stdout io.Writer) error {
 	record := fs.String("record", "", "record a kill-chain run into this replay log (plus .fp fingerprint) and exit")
 	replayLog := fs.String("replay", "", "re-run the kill chain live against this recorded log and exit")
 	perturb := fs.Duration("perturb", 0, "server-delay override for -record/-replay (0 = scenario default)")
+	conditions := fs.String("conditions", "", fmt.Sprintf("link fault profile for -record/-replay (presets: %s)", strings.Join(netsim.ProfileNames(), ", ")))
 	runList := fs.String("run", "all", "comma-separated artifact ids, or 'all'")
 	format := fs.String("format", "text", fmt.Sprintf("output format: %s", strings.Join(artifact.Formats(), ", ")))
 	parallel := fs.Int("parallel", 0, "scenario worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
@@ -87,15 +92,29 @@ func run(args []string, stdout io.Writer) error {
 	if *list {
 		return printList(stdout)
 	}
+	// -conditions is validated before anything runs, whether or not a
+	// record/replay was requested, so a typo'd profile name always aborts
+	// with the preset list instead of silently running clean.
+	var link *netsim.LinkProfile
+	if *conditions != "" {
+		lp, err := netsim.ProfileByName(*conditions)
+		if err != nil {
+			return err
+		}
+		if *record == "" && *replayLog == "" {
+			return fmt.Errorf("-conditions %s is only meaningful with -record or -replay", *conditions)
+		}
+		link = &lp
+	}
 	if *record != "" || *replayLog != "" {
 		seed := int64(*paramFlags["seed"])
 		if *record != "" {
-			if err := recordRun(*record, seed, *perturb, stdout); err != nil {
+			if err := recordRun(*record, seed, *perturb, link, stdout); err != nil {
 				return err
 			}
 		}
 		if *replayLog != "" {
-			return replayRun(*replayLog, seed, *perturb, stdout)
+			return replayRun(*replayLog, seed, *perturb, link, stdout)
 		}
 		return nil
 	}

@@ -8,18 +8,21 @@ import (
 	"time"
 
 	"masterparasite/internal/experiments"
+	"masterparasite/internal/netsim"
 	"masterparasite/internal/replay"
 )
 
 // recordRun captures one scripted kill-chain run into path, writes the
 // divergence fingerprint next to it as path+".fp", and prints a summary.
-func recordRun(path string, seed int64, perturb time.Duration, stdout io.Writer) error {
+// A non-nil link installs that fault profile on the wire (with tcpsim
+// retransmission enabled), so the log captures a degraded-network run.
+func recordRun(path string, seed int64, perturb time.Duration, link *netsim.LinkProfile, stdout io.Writer) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	rec := replay.NewRecorder(f)
-	runErr := experiments.RunKillChain(experiments.KillChainOpts{Seed: seed, ServerDelay: perturb}, rec, nil)
+	runErr := experiments.RunKillChain(experiments.KillChainOpts{Seed: seed, ServerDelay: perturb, Link: link}, rec, nil)
 	if closeErr := f.Close(); runErr == nil {
 		runErr = closeErr
 	}
@@ -43,13 +46,13 @@ func recordRun(path string, seed int64, perturb time.Duration, stdout io.Writer)
 // checking every wire event as it happens. A clean run prints PASS with
 // the shared fingerprint; any difference — e.g. one injected with
 // -perturb — is reported at its exact event index and fails the command.
-func replayRun(path string, seed int64, perturb time.Duration, stdout io.Writer) error {
+func replayRun(path string, seed int64, perturb time.Duration, link *netsim.LinkProfile, stdout io.Writer) error {
 	rp, err := replay.LoadFile(path)
 	if err != nil {
 		return err
 	}
 	chk := replay.NewChecker(rp.Events())
-	if err := experiments.RunKillChain(experiments.KillChainOpts{Seed: seed, ServerDelay: perturb}, nil, chk); err != nil {
+	if err := experiments.RunKillChain(experiments.KillChainOpts{Seed: seed, ServerDelay: perturb, Link: link}, nil, chk); err != nil {
 		return err
 	}
 	if div := chk.Finish(); div != nil {

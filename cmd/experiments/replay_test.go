@@ -119,6 +119,69 @@ func TestReplayDriveVerb(t *testing.T) {
 	}
 }
 
+// TestRecordReplayConditions records and replays under a named link
+// fault preset: the faulted run must round-trip against its own log but
+// fingerprint differently from a clean recording at the same seed.
+func TestRecordReplayConditions(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.replay")
+	lossy := filepath.Join(dir, "lossy.replay")
+	for _, args := range [][]string{
+		{"-record", clean, "-seed", "97"},
+		{"-record", lossy, "-seed", "97", "-conditions", "coffee-shop-wifi"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-replay", lossy, "-seed", "97", "-conditions", "coffee-shop-wifi"}, &out); err != nil {
+		t.Fatalf("conditions replay failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("conditions replay did not pass:\n%s", out.String())
+	}
+
+	cleanFP, err := os.ReadFile(clean + ".fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossyFP, err := os.ReadFile(lossy + ".fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(cleanFP, lossyFP) {
+		t.Fatal("faulted recording fingerprints identically to the clean one")
+	}
+
+	// Replaying the clean log under the fault profile must diverge.
+	out.Reset()
+	if err := run([]string{"-replay", clean, "-seed", "97", "-conditions", "coffee-shop-wifi"}, &out); err == nil {
+		t.Fatalf("clean log replayed under faults passed:\n%s", out.String())
+	}
+}
+
+// TestConditionsFlagValidation rejects unknown profiles up front (the
+// error names the presets) and refuses -conditions outside
+// record/replay mode.
+func TestConditionsFlagValidation(t *testing.T) {
+	log := filepath.Join(t.TempDir(), "kc.replay")
+	err := run([]string{"-record", log, "-conditions", "underwater"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if !strings.Contains(err.Error(), "coffee-shop-wifi") {
+		t.Errorf("error %q does not list the presets", err)
+	}
+	if _, statErr := os.Stat(log); statErr == nil {
+		t.Error("log file created despite invalid -conditions (validation not up front)")
+	}
+	if err := run([]string{"-conditions", "clean", "-run", "replay"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-conditions accepted without -record/-replay")
+	}
+}
+
 // TestReplayVerbUsage rejects malformed invocations.
 func TestReplayVerbUsage(t *testing.T) {
 	for _, args := range [][]string{

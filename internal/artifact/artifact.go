@@ -21,10 +21,18 @@ package artifact
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"masterparasite/internal/runner"
 )
+
+// ErrTransient marks a run failure as retryable: the scenario hit a
+// condition that a fresh attempt can clear (an exhausted resource, a
+// probabilistic setup that can re-draw). A Spec.Run wraps its error
+// with %w around ErrTransient to opt in; orchestrators (labd) retry
+// transient failures with backoff and fail everything else fast.
+var ErrTransient = errors.New("transient failure")
 
 // Param declares one tunable input of an artifact. Params are integers
 // (corpus sizes, study days, payload bytes, seeds); a frontend exposes

@@ -37,6 +37,7 @@ type Browser struct {
 	OS      OS
 
 	net     *netsim.Network
+	ifc     *netsim.Interface
 	stack   *tcpsim.Stack
 	client  *httpsim.Client
 	resolve Resolver
@@ -86,6 +87,9 @@ type Config struct {
 	// Reassembly overrides the TCP overlap policy (FirstWins when zero);
 	// the injection ablation sets LastWins.
 	Reassembly tcpsim.ReassemblyPolicy
+	// Retransmit enables tcpsim's retransmission state machine, so the
+	// browser survives a faulty (lossy/jittery) link profile.
+	Retransmit bool
 }
 
 // New attaches a browser to the network.
@@ -108,11 +112,15 @@ func New(network *netsim.Network, cfg Config) (*Browser, error) {
 	if cfg.Reassembly != 0 {
 		stackOpts = append(stackOpts, tcpsim.WithReassembly(cfg.Reassembly))
 	}
+	if cfg.Retransmit {
+		stackOpts = append(stackOpts, tcpsim.WithRetransmit())
+	}
 	stack := tcpsim.NewStack(network, ifc, stackOpts...)
 	b := &Browser{
 		Profile: cfg.Profile,
 		OS:      cfg.OS,
 		net:     network,
+		ifc:     ifc,
 		stack:   stack,
 		client:  httpsim.NewClient(stack),
 		resolve: cfg.Resolver,
@@ -134,6 +142,11 @@ func New(network *netsim.Network, cfg Config) (*Browser, error) {
 
 // Runtime returns the script runtime for behaviour registration.
 func (b *Browser) ScriptRuntime() *Runtime { return b.runtime }
+
+// Interface exposes the browser's network attachment point — the churn
+// model toggles its receive path to simulate the victim leaving and
+// rejoining the WiFi mid-attack.
+func (b *Browser) Interface() *netsim.Interface { return b.ifc }
 
 // Cache exposes the HTTP object cache (experiments inspect it).
 func (b *Browser) Cache() *httpcache.Store { return b.cache }

@@ -67,6 +67,15 @@ type Config struct {
 	// recorded run re-driven with a different server latency diverges at
 	// the first server-side wire event, pinpointing the timing change.
 	ServerDelay time.Duration
+	// Link applies a fault profile (loss/jitter/reorder/duplication/
+	// bandwidth) to the WiFi segment. nil keeps the historical perfect
+	// wire. Faulted scenarios almost always want Retransmit too.
+	Link *netsim.LinkProfile
+	// Retransmit enables tcpsim's retransmission state machine on every
+	// scenario stack (victim, web farm, attacker server). Off by
+	// default: the clean-wire artifacts were recorded without it and
+	// their bytes are pinned by golden and fingerprint tests.
+	Retransmit bool
 }
 
 // Scenario is one assembled attack laboratory.
@@ -91,6 +100,10 @@ type Scenario struct {
 	// StrictCSP is a convenience knob experiments set before installing
 	// pages: when true they serve "default-src 'self'" policies.
 	StrictCSP bool
+
+	// retransmit remembers whether stacks are built with retransmission,
+	// so AddVictim attaches extra victims with the same transport.
+	retransmit bool
 }
 
 // NewScenario assembles the network of Fig. 1/2: victim and attacker on
@@ -124,6 +137,17 @@ func NewScenario(cfg Config) (*Scenario, error) {
 		served:   make(map[string]int),
 	}
 	s.Wifi = s.Net.MustSegment("public-wifi", wifiLatency)
+	if cfg.Link != nil {
+		s.Wifi.SetLinkProfile(*cfg.Link)
+	}
+	s.retransmit = cfg.Retransmit
+	stackOpts := func(seed int64) []tcpsim.StackOption {
+		opts := []tcpsim.StackOption{tcpsim.WithSeed(seed)}
+		if cfg.Retransmit {
+			opts = append(opts, tcpsim.WithRetransmit())
+		}
+		return opts
+	}
 
 	srvDelay := serverDelay
 	if cfg.ServerDelay > 0 {
@@ -136,7 +160,7 @@ func NewScenario(cfg Config) (*Scenario, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario web attach: %w", err)
 	}
-	webStack := tcpsim.NewStack(s.Net, webIfc, tcpsim.WithSeed(cfg.Seed+100))
+	webStack := tcpsim.NewStack(s.Net, webIfc, stackOpts(cfg.Seed+100)...)
 	if _, err := httpsim.NewServer(webStack, 80, s.serve); err != nil {
 		return nil, fmt.Errorf("scenario web server: %w", err)
 	}
@@ -150,7 +174,7 @@ func NewScenario(cfg Config) (*Scenario, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario attacker attach: %w", err)
 	}
-	atkStack := tcpsim.NewStack(s.Net, atkIfc, tcpsim.WithSeed(cfg.Seed+200))
+	atkStack := tcpsim.NewStack(s.Net, atkIfc, stackOpts(cfg.Seed+200)...)
 	s.CNC = cnc.NewMasterServer()
 	cncHandler := attacker.CNCAdapter(s.CNC)
 	junkBlob := strings.Repeat("j", 4096)
@@ -180,6 +204,7 @@ func NewScenario(cfg Config) (*Scenario, error) {
 		Delay:      victimDelay,
 		Seed:       cfg.Seed,
 		Reassembly: cfg.ReassemblyPolicy,
+		Retransmit: cfg.Retransmit,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario victim: %w", err)
@@ -351,6 +376,21 @@ func (s *Scenario) LeaveAttackerNetwork() {
 	s.Master.Sniffer().Stop()
 }
 
+// ScheduleChurn models the victim flapping on and off the network: at
+// each cycle start (relative virtual time) the victim's interface stops
+// receiving for gap, then rejoins. All instants are scheduled on the
+// deterministic virtual clock, so churn composes with link faults
+// without disturbing byte-identity. With retransmission enabled the
+// transport rides out each outage; without it, in-flight exchanges die.
+func (s *Scenario) ScheduleChurn(b *browser.Browser, start, period, gap time.Duration, cycles int) {
+	ifc := b.Interface()
+	for i := 0; i < cycles; i++ {
+		at := start + time.Duration(i)*period
+		s.Net.Schedule(at, func() { ifc.SetReceiveDrop(true) })
+		s.Net.Schedule(at+gap, func() { ifc.SetReceiveDrop(false) })
+	}
+}
+
 // AddVictim attaches another victim browser to the WiFi segment — the
 // botnet case: the master infects every client it can see, and each
 // parasite reports to the C&C under its own bot identity.
@@ -360,13 +400,14 @@ func (s *Scenario) AddVictim(addr netsim.Addr, profile string, seed int64) (*bro
 		return nil, err
 	}
 	b, err := browser.New(s.Net, browser.Config{
-		Profile:  p,
-		OS:       browser.Win10,
-		Segment:  s.Wifi,
-		Addr:     addr,
-		Resolver: s.resolve,
-		Delay:    victimDelay,
-		Seed:     seed,
+		Profile:    p,
+		OS:         browser.Win10,
+		Segment:    s.Wifi,
+		Addr:       addr,
+		Resolver:   s.resolve,
+		Delay:      victimDelay,
+		Seed:       seed,
+		Retransmit: s.retransmit,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario extra victim: %w", err)

@@ -65,7 +65,7 @@ func assertDatasetRoundTrips(t *testing.T, res *artifact.Result) {
 
 func TestRegistryListsAllArtifacts(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table4", "table5",
-		"fig3", "fig5", "cnc", "flows", "countermeasures", "replay"}
+		"fig3", "fig5", "cnc", "flows", "countermeasures", "replay", "conditions"}
 	got := artifact.IDs()
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("registry order = %v, want %v", got, want)
@@ -74,7 +74,7 @@ func TestRegistryListsAllArtifacts(t *testing.T) {
 	for _, s := range artifact.Deterministic() {
 		det = append(det, s.ID)
 	}
-	if len(det) != 10 {
+	if len(det) != 11 {
 		t.Fatalf("deterministic artifacts = %v; only cnc measures wall-clock", det)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"masterparasite/internal/artifact"
 	"masterparasite/internal/attacker"
 	"masterparasite/internal/core"
+	"masterparasite/internal/netsim"
 	"masterparasite/internal/parasite"
 	"masterparasite/internal/replay"
 	"masterparasite/internal/runner"
@@ -24,6 +25,13 @@ type KillChainOpts struct {
 	// knob: re-running a recorded capture with a different delay shifts
 	// the wire schedule and the checker pins the first shifted event.
 	ServerDelay time.Duration
+	// Link installs a network fault profile on the scenario's WiFi
+	// segment and enables tcpsim retransmission so the kill chain
+	// survives it. nil keeps the historical perfect wire (and the
+	// historical wire bytes). A lossy Link is the second perturbation
+	// knob: drops and duplicate deliveries appear in the recorded log
+	// and change the divergence fingerprint.
+	Link *netsim.LinkProfile
 }
 
 // RunKillChain executes the full scripted kill chain — cache eviction,
@@ -33,7 +41,12 @@ type KillChainOpts struct {
 // "flows" artifact traces; here it is the canonical record/replay
 // workload.
 func RunKillChain(opts KillChainOpts, rec *replay.Recorder, chk *replay.Checker) error {
-	s, err := core.NewScenario(core.Config{Seed: opts.Seed, ServerDelay: opts.ServerDelay})
+	scfg := core.Config{Seed: opts.Seed, ServerDelay: opts.ServerDelay}
+	if opts.Link != nil {
+		scfg.Link = opts.Link
+		scfg.Retransmit = true
+	}
+	s, err := core.NewScenario(scfg)
 	if err != nil {
 		return err
 	}

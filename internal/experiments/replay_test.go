@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"testing"
 
 	"masterparasite/internal/artifact"
+	"masterparasite/internal/netsim"
 	"masterparasite/internal/replay"
 	"masterparasite/internal/runner"
 )
@@ -121,5 +123,60 @@ func TestReplayDivergenceExactIndex(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("divergence does not attribute the change to timing:\n%s", live)
+	}
+}
+
+// TestReplayCapturesLinkFaults is the fault-injection regression test:
+// re-running a recorded kill chain under a lossy, duplicating
+// LinkProfile must surface the faults as KindDrop and KindDup events in
+// the MPRL log, change the divergence fingerprint, and make the live
+// checker pin the first faulted event at exactly the offline Diff
+// index. The faulted log must also survive a write/ReadLog round trip.
+func TestReplayCapturesLinkFaults(t *testing.T) {
+	const seed = 97
+	base := recordKillChain(t, KillChainOpts{Seed: seed})
+	if base.CountKind(replay.KindDup) != 0 {
+		t.Fatal("clean-wire recording contains duplicate deliveries")
+	}
+
+	lossy := netsim.LinkProfile{Name: "regress", Loss: 0.15, Duplicate: 0.2, Seed: 7}
+	var buf bytes.Buffer
+	rec := replay.NewRecorder(&buf)
+	chk := replay.NewChecker(base.Events())
+	if err := RunKillChain(KillChainOpts{Seed: seed, Link: &lossy}, rec, chk); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.CountKind(replay.KindDrop); got == 0 {
+		t.Error("no loss-induced drops recorded at 15% loss")
+	}
+	if got := rec.CountKind(replay.KindDup); got == 0 {
+		t.Error("no duplicate deliveries recorded at 20% duplication")
+	}
+	if rec.Fingerprint() == base.Fingerprint() {
+		t.Error("fingerprint unchanged despite link faults")
+	}
+
+	live := chk.Finish()
+	if live == nil {
+		t.Fatal("checker saw no divergence against the clean recording")
+	}
+	offline := replay.Diff(base.Events(), rec.Events())
+	if offline == nil {
+		t.Fatal("offline diff found no divergence")
+	}
+	if live.Index != offline.Index {
+		t.Errorf("live checker pinned event #%d, offline diff #%d", live.Index, offline.Index)
+	}
+
+	// The streamed log round-trips: same events, same fingerprint.
+	events, err := replay.ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != rec.Count() {
+		t.Fatalf("round trip lost events: %d read, %d recorded", len(events), rec.Count())
+	}
+	if fp := replay.FingerprintEvents(events); fp != rec.Fingerprint() {
+		t.Errorf("round-trip fingerprint %.16s != recorded %.16s", fp, rec.Fingerprint())
 	}
 }

@@ -6,10 +6,11 @@ import "masterparasite/internal/artifact"
 // the declaration (the registry enforces it), and frontends expose one
 // flag per name.
 var (
-	paramSites   = artifact.Param{Name: "sites", Usage: "corpus size for fig3/fig5 (paper: 15000)", Default: 3000, Min: 1}
-	paramDays    = artifact.Param{Name: "days", Usage: "study length in days for fig3", Default: 100, Min: 1}
-	paramSeed    = artifact.Param{Name: "seed", Usage: "corpus seed for fig3/fig5", Default: 1, Min: 1}
-	paramPayload = artifact.Param{Name: "payload", Usage: "C&C payload bytes for the throughput run", Default: 64 * 1024, Min: 1}
+	paramSites    = artifact.Param{Name: "sites", Usage: "corpus size for fig3/fig5 (paper: 15000)", Default: 3000, Min: 1}
+	paramDays     = artifact.Param{Name: "days", Usage: "study length in days for fig3", Default: 100, Min: 1}
+	paramSeed     = artifact.Param{Name: "seed", Usage: "corpus seed for fig3/fig5", Default: 1, Min: 1}
+	paramPayload  = artifact.Param{Name: "payload", Usage: "C&C payload bytes for the throughput run", Default: 64 * 1024, Min: 1}
+	paramAttempts = artifact.Param{Name: "attempts", Usage: "injection attempts per link profile for conditions", Default: 5, Min: 1}
 )
 
 // init self-registers every experiment as an artifact.Spec, in the
@@ -64,6 +65,11 @@ func init() {
 		{
 			ID: "replay", Title: "Record/replay fingerprint stability",
 			Section: "infra", Seed: 97, Deterministic: true, Run: ReplayStability,
+		},
+		{
+			ID: "conditions", Title: "Kill chain vs network conditions (fault-injection matrix)",
+			Section: "robustness", Seed: conditionsSeed, Deterministic: true, Run: Conditions,
+			Params: []artifact.Param{paramAttempts, paramPayload},
 		},
 	} {
 		artifact.MustRegister(s)

@@ -48,10 +48,12 @@ func eventsFromStages(id string, stages []Stage) []Event {
 	return out
 }
 
-// maxStages bounds a run's lifecycle length (queued, running,
-// rendering, done/failed); subscriber channels are buffered to it so a
-// stage append never blocks on a slow consumer.
-const maxStages = 8
+// maxStages bounds a run's typical lifecycle length (queued, running,
+// up to a handful of retrying entries, rendering, done/failed);
+// subscriber channels are buffered to it so a stage append never blocks
+// on a slow consumer. Pathological retry configurations past the buffer
+// degrade to dropped live events, never to a blocked fleet.
+const maxStages = 12
 
 // subscribers tracks live event channels per run. All methods are
 // called with the server's mutex held.

@@ -22,6 +22,7 @@ package labd
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -47,6 +48,19 @@ type Config struct {
 	// time.Now. Tests inject a fixed clock to make event bytes
 	// deterministic across transports.
 	Now func() time.Time
+	// MaxAttempts bounds how many times a run's execution is attempted
+	// when it fails transiently (artifact.ErrTransient): the first run
+	// plus up to MaxAttempts-1 retries. <= 0 selects 3. Permanent
+	// errors — invalid specs, params, renderer or non-transient Exec
+	// failures — never retry.
+	MaxAttempts int
+	// RetryDelay is the base backoff between attempts; it doubles per
+	// retry and is capped at 8× the base. <= 0 selects 250ms.
+	RetryDelay time.Duration
+	// Sleep waits between attempts; nil selects time.Sleep. Tests
+	// inject a recorder so retry schedules are assertable without
+	// real delays.
+	Sleep func(time.Duration)
 }
 
 // Server is the orchestrator: store + index, queue, fleets, events.
@@ -79,6 +93,15 @@ func Open(cfg Config) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = 250 * time.Millisecond
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
 	store, err := OpenStore(cfg.StoreDir)
 	if err != nil {
 		return nil, err
@@ -101,7 +124,7 @@ func Open(cfg Config) (*Server, error) {
 			// Never started: resume exactly where the last process
 			// left off.
 			s.queue.Push(r.ID)
-		case StatusRunning, StatusRendering:
+		case StatusRunning, StatusRetrying, StatusRendering:
 			// The owning process died mid-run; the run cannot be
 			// resumed (scenario state was in memory), so latch the
 			// failure durably.
@@ -366,13 +389,36 @@ func (s *Server) execute(id string) {
 	pool := runner.New(s.cfg.Workers)
 	env, err := spec.NewEnv(pool, overrides)
 	if err != nil {
+		// Spec/param resolution errors are permanent: a retry would
+		// re-derive the identical environment and fail identically.
 		s.setStage(id, StatusFailed, err.Error())
 		return
 	}
-	res, err := spec.Exec(env)
-	if err != nil {
-		s.setStage(id, StatusFailed, err.Error())
-		return
+	var res *artifact.Result
+	for attempt := 1; ; attempt++ {
+		res, err = spec.Exec(env)
+		if err == nil {
+			break
+		}
+		transient := errors.Is(err, artifact.ErrTransient)
+		if !transient && attempt == 1 {
+			// Permanent failure on the first try: keep the bare error
+			// as the record's detail (no attempt bookkeeping to report).
+			s.setStage(id, StatusFailed, err.Error())
+			return
+		}
+		detail := fmt.Sprintf("attempt %d/%d failed: %v", attempt, s.cfg.MaxAttempts, err)
+		if !transient || attempt >= s.cfg.MaxAttempts {
+			s.setStage(id, StatusFailed, detail)
+			return
+		}
+		// Capped exponential backoff: base, 2×, 4×, ... up to 8× base.
+		delay := s.cfg.RetryDelay << (attempt - 1)
+		if max := 8 * s.cfg.RetryDelay; delay > max {
+			delay = max
+		}
+		s.setStage(id, StatusRetrying, detail)
+		s.cfg.Sleep(delay)
 	}
 
 	s.setStage(id, StatusRendering, format)

@@ -6,15 +6,19 @@ import (
 )
 
 // Status is a run's position in its lifecycle. Transitions are strictly
-// forward: queued → running → rendering → done|failed. A daemon restart
-// may additionally move a run that was mid-flight when the process died
-// straight to failed (detail "interrupted by restart").
+// forward: queued → running → retrying* → rendering → done|failed,
+// where retrying repeats once per transient execution failure below the
+// attempt cap (each retrying stage's detail carries the attempt count).
+// A daemon restart may additionally move a run that was mid-flight when
+// the process died straight to failed (detail "interrupted by
+// restart").
 type Status string
 
 // The run lifecycle stages, in order.
 const (
 	StatusQueued    Status = "queued"
 	StatusRunning   Status = "running"
+	StatusRetrying  Status = "retrying"
 	StatusRendering Status = "rendering"
 	StatusDone      Status = "done"
 	StatusFailed    Status = "failed"

@@ -1,0 +1,187 @@
+package labd_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"masterparasite/internal/artifact"
+	"masterparasite/internal/labd"
+)
+
+// labd-t-flaky fails transiently (artifact.ErrTransient) a configurable
+// number of times before succeeding — the retry path's workload.
+var (
+	flakyMu        sync.Mutex
+	flakyRemaining int
+)
+
+func setFlakyFailures(n int) {
+	flakyMu.Lock()
+	defer flakyMu.Unlock()
+	flakyRemaining = n
+}
+
+func init() {
+	artifact.MustRegister(artifact.Spec{
+		ID: "labd-t-flaky", Title: "labd transiently failing artifact", Section: "test",
+		Run: func(artifact.Env) (*artifact.Result, error) {
+			flakyMu.Lock()
+			defer flakyMu.Unlock()
+			if flakyRemaining > 0 {
+				flakyRemaining--
+				return nil, fmt.Errorf("scenario pool exhausted: %w", artifact.ErrTransient)
+			}
+			return &artifact.Result{Text: "flaky ok\n", Dataset: kvDataset{}}, nil
+		},
+	})
+}
+
+// sleepRecorder captures backoff delays instead of sleeping, so retry
+// schedules are assertable without real waits.
+type sleepRecorder struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (r *sleepRecorder) sleep(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.delays = append(r.delays, d)
+}
+
+func (r *sleepRecorder) recorded() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.delays...)
+}
+
+func stagesOf(rec *labd.Record, st labd.Status) []labd.Stage {
+	var out []labd.Stage
+	for _, s := range rec.Stages {
+		if s.Stage == st {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestRetryTransientThenSucceeds drives the retry path end to end: two
+// transient failures, then success — the run must come out done, with
+// one retrying stage per failed attempt (carrying the attempt count)
+// and exponentially backed-off delays between attempts.
+func TestRetryTransientThenSucceeds(t *testing.T) {
+	setFlakyFailures(2)
+	sleeps := &sleepRecorder{}
+	srv := openServer(t, labd.Config{
+		Fleets: 1, MaxAttempts: 3,
+		RetryDelay: time.Millisecond, Sleep: sleeps.sleep,
+	})
+	rec, err := srv.Enqueue(labd.EnqueueRequest{Spec: "labd-t-flaky"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, srv, rec.ID)
+	if final.Status != labd.StatusDone {
+		t.Fatalf("status = %s (error %q), want done", final.Status, final.Error)
+	}
+	retries := stagesOf(final, labd.StatusRetrying)
+	if len(retries) != 2 {
+		t.Fatalf("%d retrying stages, want 2:\n%+v", len(retries), final.Stages)
+	}
+	for i, want := range []string{"attempt 1/3", "attempt 2/3"} {
+		if !strings.Contains(retries[i].Detail, want) {
+			t.Errorf("retry %d detail %q misses %q", i, retries[i].Detail, want)
+		}
+	}
+	if got := sleeps.recorded(); len(got) != 2 || got[0] != time.Millisecond || got[1] != 2*time.Millisecond {
+		t.Errorf("backoff delays = %v, want [1ms 2ms]", got)
+	}
+}
+
+// TestRetryGivesUpAtCap exhausts the attempt budget with transient
+// failures: the run fails with the final attempt count in its error.
+func TestRetryGivesUpAtCap(t *testing.T) {
+	setFlakyFailures(100)
+	defer setFlakyFailures(0)
+	sleeps := &sleepRecorder{}
+	srv := openServer(t, labd.Config{
+		Fleets: 1, MaxAttempts: 2,
+		RetryDelay: time.Millisecond, Sleep: sleeps.sleep,
+	})
+	rec, err := srv.Enqueue(labd.EnqueueRequest{Spec: "labd-t-flaky"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, srv, rec.ID)
+	if final.Status != labd.StatusFailed {
+		t.Fatalf("status = %s, want failed", final.Status)
+	}
+	if !strings.Contains(final.Error, "attempt 2/2 failed") {
+		t.Errorf("error %q misses the attempt count", final.Error)
+	}
+	if len(stagesOf(final, labd.StatusRetrying)) != 1 {
+		t.Errorf("retrying stages = %d, want 1 (one retry before the cap)", len(stagesOf(final, labd.StatusRetrying)))
+	}
+	if got := sleeps.recorded(); len(got) != 1 {
+		t.Errorf("slept %d times, want 1", len(got))
+	}
+}
+
+// TestPermanentErrorFailsFast asserts the other half of the contract:
+// a non-transient failure never retries — no retrying stage, no sleep,
+// and the record keeps the bare error text.
+func TestPermanentErrorFailsFast(t *testing.T) {
+	sleeps := &sleepRecorder{}
+	srv := openServer(t, labd.Config{
+		Fleets: 1, MaxAttempts: 3,
+		RetryDelay: time.Millisecond, Sleep: sleeps.sleep,
+	})
+	rec, err := srv.Enqueue(labd.EnqueueRequest{Spec: "labd-t-err"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, srv, rec.ID)
+	if final.Status != labd.StatusFailed {
+		t.Fatalf("status = %s, want failed", final.Status)
+	}
+	if final.Error != "scenario exploded" {
+		t.Errorf("error = %q, want the bare permanent error", final.Error)
+	}
+	if n := len(stagesOf(final, labd.StatusRetrying)); n != 0 {
+		t.Errorf("permanent failure produced %d retrying stages", n)
+	}
+	if got := sleeps.recorded(); len(got) != 0 {
+		t.Errorf("permanent failure slept %v", got)
+	}
+}
+
+// TestRetryBackoffCap checks the delay schedule clamps at 8× the base.
+func TestRetryBackoffCap(t *testing.T) {
+	setFlakyFailures(100)
+	defer setFlakyFailures(0)
+	sleeps := &sleepRecorder{}
+	srv := openServer(t, labd.Config{
+		Fleets: 1, MaxAttempts: 6,
+		RetryDelay: time.Millisecond, Sleep: sleeps.sleep,
+	})
+	rec, err := srv.Enqueue(labd.EnqueueRequest{Spec: "labd-t-flaky"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitDone(t, srv, rec.ID); final.Status != labd.StatusFailed {
+		t.Fatalf("status = %s, want failed", final.Status)
+	}
+	want := []time.Duration{1, 2, 4, 8, 8}
+	got := sleeps.recorded()
+	if len(got) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i]*time.Millisecond {
+			t.Errorf("delay %d = %v, want %v", i, got[i], want[i]*time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// wireString renders one wire event compactly for byte-level stream
+// comparison across runs.
+func wireString(e WireEvent) string {
+	return fmt.Sprintf("%s t=%d %s %s>%s p=%d %dB",
+		e.Kind, e.Time.Nanoseconds(), e.Segment, e.Src, e.Dst, e.Proto, len(e.Payload))
+}
+
+// lossyExchange runs n sends over a segment with the given profile and
+// returns the full wire-event stream plus the network for counter
+// checks.
+func lossyExchange(t *testing.T, p LinkProfile, sends int, withProfile bool) ([]string, *Network, *Segment) {
+	t.Helper()
+	n := New()
+	seg := n.MustSegment("wifi", time.Millisecond)
+	if withProfile {
+		seg.SetLinkProfile(p)
+	}
+	seg.MustAttach("10.0.0.1", 0, func(time.Duration, Packet) {})
+	src := seg.MustAttach("10.0.0.2", 0, nil)
+	var stream []string
+	n.SetWireTap(func(e WireEvent) { stream = append(stream, wireString(e)) })
+	for i := 0; i < sends; i++ {
+		src.Send(Packet{Dst: "10.0.0.1", Proto: ProtoRaw, Payload: []byte(fmt.Sprintf("frame-%03d", i))})
+		n.Run(0)
+	}
+	return stream, n, seg
+}
+
+func TestCleanProfileByteIdenticalToNoProfile(t *testing.T) {
+	clean, _ := ProfileByName("clean")
+	without, _, _ := lossyExchange(t, LinkProfile{}, 32, false)
+	with, _, _ := lossyExchange(t, clean, 32, true)
+	if strings.Join(without, "\n") != strings.Join(with, "\n") {
+		t.Fatalf("clean profile changed the wire stream:\nwithout: %v\nwith: %v", without, with)
+	}
+}
+
+func TestLinkFaultsAreDeterministic(t *testing.T) {
+	p := LinkProfile{Name: "t", Loss: 0.3, Jitter: 2 * time.Millisecond,
+		Reorder: 0.2, ReorderDelay: 3 * time.Millisecond, Duplicate: 0.2, Seed: 42}
+	a, _, segA := lossyExchange(t, p, 64, true)
+	b, _, segB := lossyExchange(t, p, 64, true)
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatal("identical profile+seed produced different wire streams")
+	}
+	if segA.Lost() == 0 || segA.Duplicated() == 0 {
+		t.Fatalf("expected faults at loss=0.3 dup=0.2 over 64 sends; lost=%d dup=%d",
+			segA.Lost(), segA.Duplicated())
+	}
+	if segA.Lost() != segB.Lost() || segA.Duplicated() != segB.Duplicated() {
+		t.Fatal("fault counters diverged between identical runs")
+	}
+	// A different seed must draw a different fault sequence.
+	p.Seed = 43
+	c, _, _ := lossyExchange(t, p, 64, true)
+	if strings.Join(a, "\n") == strings.Join(c, "\n") {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestLossEmitsWireDropAndSkipsDelivery(t *testing.T) {
+	p := LinkProfile{Name: "t", Loss: 1.0, Seed: 1}
+	stream, n, seg := lossyExchange(t, p, 8, true)
+	if n.Delivered() != 0 {
+		t.Fatalf("delivered = %d on a 100%%-loss link", n.Delivered())
+	}
+	if seg.Lost() != 8 {
+		t.Fatalf("Lost() = %d, want 8", seg.Lost())
+	}
+	drops := 0
+	for _, s := range stream {
+		if strings.HasPrefix(s, "drop ") {
+			drops++
+		}
+	}
+	if drops != 8 {
+		t.Fatalf("wire stream has %d drops, want 8:\n%s", drops, strings.Join(stream, "\n"))
+	}
+}
+
+func TestLossWithTapStillReachesEavesdropper(t *testing.T) {
+	// The paper's master taps the WiFi at the access point: frames the
+	// distant addressee loses are still observable mid-air.
+	n := New()
+	seg := n.MustSegment("wifi", time.Millisecond)
+	seg.SetLinkProfile(LinkProfile{Name: "t", Loss: 1.0, Seed: 1})
+	seg.MustAttach("10.0.0.1", 0, func(time.Duration, Packet) {})
+	src := seg.MustAttach("10.0.0.2", 0, nil)
+	tapped := 0
+	seg.AttachTap(0, func(_ time.Duration, p Packet) { tapped++ })
+	for i := 0; i < 5; i++ {
+		src.Send(Packet{Dst: "10.0.0.1", Proto: ProtoRaw, Payload: []byte("x")})
+	}
+	n.Run(0)
+	if tapped != 5 {
+		t.Fatalf("tap saw %d frames, want 5", tapped)
+	}
+	if n.Delivered() != 0 {
+		t.Fatalf("addressee delivered = %d on a 100%%-loss link", n.Delivered())
+	}
+	if acq, rel := n.FrameStats(); acq != rel {
+		t.Fatalf("frame pool leaked: acquired=%d released=%d", acq, rel)
+	}
+}
+
+func TestDuplicateDeliversTwiceAndIsTagged(t *testing.T) {
+	p := LinkProfile{Name: "t", Duplicate: 1.0, Seed: 1}
+	stream, n, seg := lossyExchange(t, p, 4, true)
+	if n.Delivered() != 8 {
+		t.Fatalf("delivered = %d, want 8 (every frame twice)", n.Delivered())
+	}
+	if seg.Duplicated() != 4 {
+		t.Fatalf("Duplicated() = %d, want 4", seg.Duplicated())
+	}
+	dups := 0
+	for _, s := range stream {
+		if strings.HasPrefix(s, "dup ") {
+			dups++
+		}
+	}
+	if dups != 4 {
+		t.Fatalf("wire stream has %d dup events, want 4:\n%s", dups, strings.Join(stream, "\n"))
+	}
+}
+
+func TestBandwidthSerializesBackToBackSends(t *testing.T) {
+	// 1000 B/s: a 100-byte frame occupies the wire for 100ms. Two
+	// back-to-back sends must arrive 100ms apart, not together.
+	n := New()
+	seg := n.MustSegment("slow", time.Millisecond)
+	seg.SetLinkProfile(LinkProfile{Name: "t", Bandwidth: 1000})
+	var at []time.Duration
+	seg.MustAttach("rx", 0, func(now time.Duration, _ Packet) { at = append(at, now) })
+	src := seg.MustAttach("tx", 0, nil)
+	payload := make([]byte, 100)
+	src.Send(Packet{Dst: "rx", Proto: ProtoRaw, Payload: payload})
+	src.Send(Packet{Dst: "rx", Proto: ProtoRaw, Payload: payload})
+	n.Run(0)
+	if len(at) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(at))
+	}
+	gap := at[1] - at[0]
+	if gap != 100*time.Millisecond {
+		t.Fatalf("serialization gap = %v, want 100ms", gap)
+	}
+}
+
+func TestReorderLetsLaterFramesOvertake(t *testing.T) {
+	// With a 50% reorder chance and a hold-back far larger than the
+	// inter-send gap, some frame must be overtaken within 32 sends.
+	n := New()
+	seg := n.MustSegment("wifi", time.Millisecond)
+	seg.SetLinkProfile(LinkProfile{Name: "t", Reorder: 0.5, ReorderDelay: 50 * time.Millisecond, Seed: 7})
+	var order []int
+	seg.MustAttach("rx", 0, func(_ time.Duration, p Packet) {
+		order = append(order, int(p.Payload[0]))
+	})
+	src := seg.MustAttach("tx", 0, nil)
+	for i := 0; i < 32; i++ {
+		i := i
+		src.SendPayload("rx", ProtoRaw, func(b []byte) []byte { return append(b, byte(i)) })
+	}
+	n.Run(0)
+	if len(order) != 32 {
+		t.Fatalf("delivered %d frames, want 32", len(order))
+	}
+	inversions := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatalf("no reordering observed: %v", order)
+	}
+}
+
+func TestFrameStatsBalancedUnderFaults(t *testing.T) {
+	p := LinkProfile{Name: "t", Loss: 0.25, Duplicate: 0.25, Jitter: time.Millisecond, Seed: 9}
+	_, n, _ := lossyExchange(t, p, 256, true)
+	acq, rel := n.FrameStats()
+	if acq == 0 || acq != rel {
+		t.Fatalf("frame pool unbalanced after faulted run: acquired=%d released=%d", acq, rel)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"clean", "coffee-shop-wifi", "congested", "mobile-handoff"} {
+		p, err := ProfileByName(name)
+		if err != nil || p.Name != name {
+			t.Fatalf("ProfileByName(%q) = %+v, %v", name, p, err)
+		}
+	}
+	if _, err := ProfileByName("dial-up"); err == nil || !strings.Contains(err.Error(), "coffee-shop-wifi") {
+		t.Fatalf("unknown profile error should list presets, got %v", err)
+	}
+	if clean, _ := ProfileByName("clean"); !clean.Clean() {
+		t.Fatal("the clean preset must report Clean()")
+	}
+	if cong, _ := ProfileByName("congested"); cong.Clean() {
+		t.Fatal("the congested preset must not report Clean()")
+	}
+}

@@ -83,12 +83,15 @@ type WireKind uint8
 
 // Wire event kinds, in lifecycle order: a frame is sent onto a segment,
 // then delivered to its addressee and/or observed by taps — or dropped
-// (segment down, receiver gone, or nobody listening).
+// (segment down, receiver gone, nobody listening, or eaten by the link's
+// loss model). WireDupDeliver marks the extra copy a faulty link's
+// duplication model produced, so replay logs show faults explicitly.
 const (
 	WireSend WireKind = iota + 1
 	WireDeliver
 	WireTapDeliver
 	WireDrop
+	WireDupDeliver
 )
 
 // String returns the conventional name of the wire-event kind.
@@ -102,6 +105,8 @@ func (k WireKind) String() string {
 		return "tap"
 	case WireDrop:
 		return "drop"
+	case WireDupDeliver:
+		return "dup"
 	default:
 		return fmt.Sprintf("wire(%d)", uint8(k))
 	}
@@ -184,6 +189,7 @@ type event struct {
 	fr  *frame     // payload for a delivery event
 	ifc *Interface // unicast delivery target
 	tap *Tap       // tap delivery target
+	dup bool       // extra copy from the link's duplication model
 }
 
 // Network owns the virtual clock and the event queue. The zero value is
@@ -208,6 +214,13 @@ type Network struct {
 	// dropScratch materializes payloads of frames that never make it
 	// onto the medium (segment down), so the wire tap still records them.
 	dropScratch []byte
+
+	// Frame-pool flow counters: every acquire must eventually be matched
+	// by a final release, so acquired-released is the in-flight frame
+	// count — zero at quiescence. The soak scenario asserts the balance
+	// to catch reference-count leaks under sustained faulted load.
+	framesAcquired int
+	framesReleased int
 
 	delivered int
 	injected  int
@@ -328,6 +341,7 @@ func (n *Network) acquireFrame(seg *Segment, src, dst Addr, proto Protocol, fill
 	} else {
 		fr = &frame{}
 	}
+	n.framesAcquired++
 	buf := fill(fr.buf[:0])
 	fr.buf = buf
 	// Hand receivers a capacity-capped view so a stray append cannot
@@ -345,7 +359,17 @@ func (n *Network) releaseFrame(fr *frame) {
 		return
 	}
 	fr.seg = nil
+	n.framesReleased++
 	n.framePool = append(n.framePool, fr)
+}
+
+// FrameStats reports how many pooled frames have been acquired and how
+// many have been fully released since the network was created. The
+// difference is the number of frames still in flight — zero whenever
+// the event queue is quiescent. The soak scenario uses the balance as
+// its frame-pool leak detector.
+func (n *Network) FrameStats() (acquired, released int) {
+	return n.framesAcquired, n.framesReleased
 }
 
 // Schedule runs fn at virtual time now+d. A non-positive d runs fn on the
@@ -370,7 +394,7 @@ func (n *Network) Step() bool {
 	n.now = ev.at
 	switch {
 	case ev.ifc != nil:
-		n.deliver(ev.fr, ev.ifc)
+		n.deliver(ev.fr, ev.ifc, ev.dup)
 	case ev.tap != nil:
 		n.deliverTap(ev.fr, ev.tap)
 	default:
@@ -379,8 +403,11 @@ func (n *Network) Step() bool {
 	return true
 }
 
-// deliver runs a unicast delivery and releases the frame reference.
-func (n *Network) deliver(fr *frame, target *Interface) {
+// deliver runs a unicast delivery and releases the frame reference. dup
+// marks the extra copy produced by a faulty link's duplication model:
+// the receiver gets a genuine duplicate arrival, and the wire tap
+// records it distinctly so replay logs pin the fault.
+func (n *Network) deliver(fr *frame, target *Interface, dup bool) {
 	if !target.dropRx && target.handler != nil {
 		n.delivered++
 		if n.trace != nil {
@@ -391,7 +418,11 @@ func (n *Network) deliver(fr *frame, target *Interface) {
 			})
 		}
 		if n.wiretap != nil {
-			n.emitWire(WireDeliver, fr.seg, fr.pkt.Src, fr.pkt.Dst, fr.pkt.Proto, fr.pkt.Payload)
+			kind := WireDeliver
+			if dup {
+				kind = WireDupDeliver
+			}
+			n.emitWire(kind, fr.seg, fr.pkt.Src, fr.pkt.Dst, fr.pkt.Proto, fr.pkt.Payload)
 		}
 		target.handler(n.now, fr.pkt)
 	} else if n.wiretap != nil {
@@ -480,6 +511,17 @@ type Segment struct {
 	ifaces  []*Interface
 	taps    []*Tap
 	down    bool
+
+	// Fault model (see link.go). faulty caches !profile.Clean() so the
+	// perfect-wire fast path stays a single predicate with zero PRNG
+	// draws — what keeps clean runs byte-identical to the historical
+	// simulator.
+	profile    LinkProfile
+	faulty     bool
+	rng        linkRNG
+	busyUntil  time.Duration
+	lost       int
+	duplicated int
 }
 
 // Name returns the segment's name.
@@ -645,23 +687,68 @@ func (s *Segment) transmitPayload(senderDelay time.Duration, src, dst Addr, prot
 	if s.net.wiretap != nil {
 		s.net.emitWire(WireSend, s, src, dst, proto, main.pkt.Payload)
 	}
-	tapFr := main
+	// Fault model: every draw comes from the segment's private PRNG in a
+	// fixed order per frame (serialize, loss, else duplication, then
+	// jitter+reorder per delivered copy), so the fault sequence is a pure
+	// function of (link seed, send order) — never of worker scheduling.
+	// A clean segment takes none of these branches and performs zero
+	// draws, keeping its wire events byte-identical to a profile-less one.
+	deliveries := 0
 	if target != nil {
+		deliveries = 1
+	}
+	var ser time.Duration
+	if s.faulty {
+		ser = s.serialize(len(main.pkt.Payload), senderDelay)
+		if deliveries > 0 {
+			if s.profile.Loss > 0 && s.rng.chance(s.profile.Loss) {
+				// The addressee never hears the frame; taps (the
+				// eavesdropper at the access point) still do. The drop is
+				// recorded at send time.
+				deliveries = 0
+				s.lost++
+				if s.net.wiretap != nil {
+					s.net.emitWire(WireDrop, s, src, dst, proto, main.pkt.Payload)
+				}
+			} else if s.profile.Duplicate > 0 && s.rng.chance(s.profile.Duplicate) {
+				deliveries = 2
+				s.duplicated++
+			}
+		}
+	}
+	if deliveries == 0 && len(s.taps) == 0 {
+		// Lost with no eavesdroppers: nothing will ever hold this frame.
 		main.refs = 1
+		s.net.releaseFrame(main)
+		return
+	}
+	tapFr := main
+	if deliveries > 0 {
+		main.refs = deliveries
 		if len(s.taps) > 0 {
 			pay := main.pkt.Payload
 			tapFr = s.net.acquireFrame(s, src, dst, proto,
 				func(dst []byte) []byte { return append(dst, pay...) })
 		}
 	}
-	if tapFr != main || target == nil {
+	if tapFr != main || deliveries == 0 {
 		tapFr.refs = len(s.taps)
 	}
-	if target != nil {
-		s.net.push(event{at: s.net.now + senderDelay + s.latency + target.delay, fr: main, ifc: target})
+	base := s.net.now + senderDelay + ser + s.latency
+	for copyNo := 0; copyNo < deliveries; copyNo++ {
+		extra := time.Duration(0)
+		if s.faulty {
+			if s.profile.Jitter > 0 {
+				extra += s.rng.durationBelow(s.profile.Jitter)
+			}
+			if s.profile.Reorder > 0 && s.rng.chance(s.profile.Reorder) {
+				extra += s.profile.ReorderDelay
+			}
+		}
+		s.net.push(event{at: base + target.delay + extra, fr: main, ifc: target, dup: copyNo > 0})
 	}
 	for _, tap := range s.taps {
-		s.net.push(event{at: s.net.now + senderDelay + s.latency + tap.delay, fr: tapFr, tap: tap})
+		s.net.push(event{at: base + tap.delay, fr: tapFr, tap: tap})
 	}
 }
 

@@ -40,7 +40,10 @@ type Kind uint8
 // Event kinds. The wire kinds mirror netsim.WireKind; KindTCP is a
 // derived annotation emitted after every TCP send (parsed header fields,
 // so protocol-level drift is visible without decoding payloads); KindCNC
-// records one covert-channel exchange routed by the C&C master.
+// records one covert-channel exchange routed by the C&C master. KindDup
+// is the extra delivery a faulty link's duplication model produced
+// (netsim.WireDupDeliver) — clean-wire logs never contain it, so its
+// addition leaves historical fingerprints untouched.
 const (
 	KindSend Kind = iota + 1
 	KindDeliver
@@ -48,6 +51,7 @@ const (
 	KindDrop
 	KindTCP
 	KindCNC
+	KindDup
 )
 
 // String returns the conventional name of the event kind.
@@ -65,6 +69,8 @@ func (k Kind) String() string {
 		return "tcp"
 	case KindCNC:
 		return "cnc"
+	case KindDup:
+		return "dup"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

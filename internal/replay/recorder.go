@@ -174,6 +174,8 @@ func wireKind(k netsim.WireKind) Kind {
 		return KindDeliver
 	case netsim.WireTapDeliver:
 		return KindTap
+	case netsim.WireDupDeliver:
+		return KindDup
 	default:
 		return KindDrop
 	}

@@ -1,0 +1,168 @@
+package tcpsim
+
+import "time"
+
+// Retransmission defaults. The base RTO is comfortably above the
+// simulation's worst-case clean round trip (~24ms through the scenario
+// web farm), so a clean wire never fires a spurious retransmission and
+// enabling the machinery leaves clean-run wire bytes untouched.
+const (
+	// DefaultRTO is the initial retransmission timeout.
+	DefaultRTO = 50 * time.Millisecond
+	// MaxRTO caps the exponential backoff.
+	MaxRTO = 800 * time.Millisecond
+	// DefaultMaxRetries is how many consecutive timeouts a connection
+	// survives before giving up and tearing down.
+	DefaultMaxRetries = 12
+	// DupAckThreshold is the number of duplicate ACKs that triggers a
+	// fast retransmit of the oldest unacknowledged segment.
+	DupAckThreshold = 3
+)
+
+// WithRetransmit enables the retransmission state machine: every
+// sequence-consuming segment (SYN, FIN, data) is queued until
+// acknowledged, an RTO timer with exponential backoff re-sends the
+// oldest outstanding segment, and duplicate ACKs trigger fast
+// retransmit. Off by default — the perfect-wire experiments predate it
+// and their recorded wire bytes must not change.
+func WithRetransmit() StackOption {
+	return func(s *Stack) { s.retransmit = true }
+}
+
+// WithRTO overrides the base retransmission timeout (tests use short
+// timeouts to keep virtual time compact).
+func WithRTO(d time.Duration) StackOption {
+	return func(s *Stack) {
+		if d > 0 {
+			s.rto = d
+		}
+	}
+}
+
+// WithISN pins the initial send sequence number of every connection the
+// stack opens or accepts, instead of drawing it from the seeded RNG.
+// The wraparound soak starts just below 2^32 so live transfers cross
+// the modular boundary.
+func WithISN(isn uint32) StackOption {
+	return func(s *Stack) {
+		v := isn
+		s.isnOverride = &v
+	}
+}
+
+// rtxSeg is one unacknowledged sequence-consuming segment awaiting
+// either an ACK or a retransmission. The payload is copied: callers may
+// reuse their buffers the moment Write returns.
+type rtxSeg struct {
+	seq     uint32
+	flags   Flags
+	payload []byte
+	seqLen  int // sequence space consumed: len(payload), +1 for SYN/FIN
+}
+
+// seqConsumed reports how much sequence space a segment occupies; only
+// occupying segments are retransmittable (pure ACKs are not).
+func seqConsumed(seg Segment) int {
+	n := len(seg.Payload)
+	if seg.Flags&(FlagSYN|FlagFIN) != 0 {
+		n++
+	}
+	return n
+}
+
+// track queues a sequence-consuming segment for possible retransmission
+// and arms the RTO timer if the queue was empty.
+func (c *Conn) track(seg Segment, seqLen int) {
+	var pay []byte
+	if len(seg.Payload) > 0 {
+		pay = append([]byte(nil), seg.Payload...)
+	}
+	c.rtxQ = append(c.rtxQ, rtxSeg{seq: seg.Seq, flags: seg.Flags, payload: pay, seqLen: seqLen})
+	if len(c.rtxQ) == 1 {
+		c.rtoBackoff = 0
+		c.retries = 0
+		c.armTimer()
+	}
+}
+
+// armTimer schedules the next RTO expiry. Bumping timerEpoch first
+// invalidates every previously scheduled expiry: netsim events cannot
+// be cancelled, so stale timers fire as no-ops.
+func (c *Conn) armTimer() {
+	c.timerEpoch++
+	epoch := c.timerEpoch
+	d := c.stack.rto << c.rtoBackoff
+	if d > MaxRTO || d <= 0 {
+		d = MaxRTO
+	}
+	c.stack.net.Schedule(d, func() { c.onTimeout(epoch) })
+}
+
+// onTimeout is one RTO expiry: retransmit the oldest outstanding
+// segment with doubled backoff, or give up past the retry cap.
+func (c *Conn) onTimeout(epoch int) {
+	if epoch != c.timerEpoch || c.state == StateClosed || len(c.rtxQ) == 0 {
+		return
+	}
+	c.retries++
+	if c.retries > c.stack.maxRetries {
+		// The peer is unreachable: local teardown, no FIN (it would not
+		// arrive either).
+		c.teardown()
+		return
+	}
+	c.stats.Timeouts++
+	if c.rtoBackoff < 6 {
+		c.rtoBackoff++
+	}
+	c.retransmitFirst()
+	c.armTimer()
+}
+
+// retransmitFirst re-sends the oldest unacknowledged segment, stamping
+// the current cumulative ACK.
+func (c *Conn) retransmitFirst() {
+	e := c.rtxQ[0]
+	c.stats.Retransmits++
+	flags := e.flags
+	seg := Segment{Flags: flags, Seq: e.seq, Window: DefaultWindow, Payload: e.payload}
+	if flags&FlagACK != 0 || c.state == StateEstablished || c.state == StateFinWait {
+		seg.Ack = c.rcvNxt
+	}
+	c.transmitSegment(seg)
+}
+
+// processAck advances the send window on a cumulative ACK: fully
+// acknowledged segments leave the retransmission queue, backoff resets,
+// and the timer re-arms for whatever is still outstanding. An exact
+// duplicate ACK (no payload, no window progress) counts toward fast
+// retransmit — the receiver is telling us which byte it is stuck on.
+func (c *Conn) processAck(ack uint32, hasPayload bool) {
+	if SeqLT(c.sndUna, ack) && SeqLEQ(ack, c.sndNxt) {
+		c.sndUna = ack
+		keep := c.rtxQ[:0]
+		for _, e := range c.rtxQ {
+			if SeqLT(ack, SeqAdd(e.seq, e.seqLen)) {
+				keep = append(keep, e)
+			}
+		}
+		c.rtxQ = keep
+		c.dupAcks = 0
+		c.retries = 0
+		c.rtoBackoff = 0
+		if len(c.rtxQ) > 0 {
+			c.armTimer()
+		} else {
+			c.timerEpoch++ // disarm: pending expiries become no-ops
+		}
+		return
+	}
+	if ack == c.sndUna && len(c.rtxQ) > 0 && !hasPayload {
+		c.dupAcks++
+		if c.dupAcks >= DupAckThreshold {
+			c.dupAcks = 0
+			c.stats.FastRetransmits++
+			c.retransmitFirst()
+		}
+	}
+}

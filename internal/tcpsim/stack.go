@@ -98,6 +98,14 @@ type Stack struct {
 	mss    int
 	rng    *rand.Rand
 
+	// Retransmission knobs (see retransmit.go). Off by default: the
+	// perfect-wire experiments were recorded without it and their wire
+	// bytes are pinned by golden and fingerprint tests.
+	retransmit  bool
+	rto         time.Duration
+	maxRetries  int
+	isnOverride *uint32
+
 	listeners map[uint16]func(*Conn)
 	conns     map[connKey]*Conn
 	nextPort  uint16
@@ -113,14 +121,16 @@ type connKey struct {
 // handler.
 func NewStack(network *netsim.Network, ifc *netsim.Interface, opts ...StackOption) *Stack {
 	s := &Stack{
-		net:       network,
-		ifc:       ifc,
-		policy:    FirstWins,
-		mss:       DefaultMSS,
-		rng:       rand.New(rand.NewSource(1)),
-		listeners: make(map[uint16]func(*Conn)),
-		conns:     make(map[connKey]*Conn),
-		nextPort:  49152,
+		net:        network,
+		ifc:        ifc,
+		policy:     FirstWins,
+		mss:        DefaultMSS,
+		rng:        rand.New(rand.NewSource(1)),
+		rto:        DefaultRTO,
+		maxRetries: DefaultMaxRetries,
+		listeners:  make(map[uint16]func(*Conn)),
+		conns:      make(map[connKey]*Conn),
+		nextPort:   49152,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -163,6 +173,7 @@ func (s *Stack) Dial(dst netsim.Addr, dstPort uint16, onConnect func(*Conn)) (*C
 		onConnect: onConnect,
 	}
 	c.iss = c.sndNxt
+	c.sndUna = c.sndNxt
 	s.conns[key] = c
 	c.sendSegment(Segment{Flags: FlagSYN, Seq: c.sndNxt, Window: DefaultWindow})
 	c.sndNxt = SeqAdd(c.sndNxt, 1) // SYN consumes one sequence number
@@ -178,7 +189,12 @@ func (s *Stack) allocPort() uint16 {
 	return p
 }
 
-func (s *Stack) isn() uint32 { return s.rng.Uint32() }
+func (s *Stack) isn() uint32 {
+	if s.isnOverride != nil {
+		return *s.isnOverride
+	}
+	return s.rng.Uint32()
+}
 
 func (s *Stack) receive(_ time.Duration, pkt netsim.Packet) {
 	if pkt.Proto != netsim.ProtoTCP {
@@ -207,6 +223,7 @@ func (s *Stack) receive(_ time.Duration, pkt netsim.Packet) {
 			accept: accept,
 		}
 		c.iss = c.sndNxt
+		c.sndUna = c.sndNxt
 		s.conns[key] = c
 		c.sendSegment(Segment{
 			Flags: FlagSYN | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt,
@@ -229,6 +246,9 @@ type ConnStats struct {
 	DuplicateBytes  int // bytes discarded by first-wins overlap resolution
 	OutOfWindow     int // segments rejected by the window check
 	OverwrittenByte int // bytes replaced under last-wins (ablation)
+	Retransmits     int // segments re-sent (timeout + fast retransmit)
+	Timeouts        int // RTO expiries that actually retransmitted
+	FastRetransmits int // retransmits triggered by duplicate ACKs
 }
 
 // Conn is one simulated TCP connection endpoint.
@@ -249,6 +269,18 @@ type Conn struct {
 	rcvHave []bool
 
 	lastAck uint32
+
+	// Retransmission state (active only when the stack enables it):
+	// sndUna is the oldest unacknowledged sequence number, rtxQ the
+	// outstanding sequence-consuming segments in send order. timerEpoch
+	// invalidates scheduled RTO expiries (netsim events cannot be
+	// cancelled, so stale epochs fire as no-ops).
+	sndUna     uint32
+	rtxQ       []rtxSeg
+	rtoBackoff uint
+	retries    int
+	timerEpoch int
+	dupAcks    int
 
 	onConnect func(*Conn)
 	accept    func(*Conn)
@@ -328,6 +360,17 @@ func (c *Conn) teardown() {
 }
 
 func (c *Conn) sendSegment(seg Segment) {
+	if c.stack.retransmit {
+		if n := seqConsumed(seg); n > 0 {
+			c.track(seg, n)
+		}
+	}
+	c.transmitSegment(seg)
+}
+
+// transmitSegment puts the segment on the wire without touching the
+// retransmission queue — the path retransmits themselves take.
+func (c *Conn) transmitSegment(seg Segment) {
 	seg.SrcPort = c.key.localPort
 	seg.DstPort = c.key.remotePort
 	c.stats.SegmentsOut++
@@ -344,6 +387,9 @@ func (c *Conn) handle(seg Segment) {
 		if seg.Flags&(FlagSYN|FlagACK) == FlagSYN|FlagACK && seg.Ack == c.sndNxt {
 			c.rcvNxt = SeqAdd(seg.Seq, 1)
 			c.state = StateEstablished
+			if c.stack.retransmit {
+				c.processAck(seg.Ack, false) // our SYN is acknowledged
+			}
 			c.sendSegment(Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: DefaultWindow})
 			if c.onConnect != nil {
 				c.onConnect(c)
@@ -353,6 +399,9 @@ func (c *Conn) handle(seg Segment) {
 	case StateSynReceived:
 		if seg.Flags&FlagACK != 0 && seg.Ack == c.sndNxt {
 			c.state = StateEstablished
+			if c.stack.retransmit {
+				c.processAck(seg.Ack, false) // our SYN-ACK is acknowledged
+			}
 			if c.accept != nil {
 				c.accept(c)
 			}
@@ -369,11 +418,21 @@ func (c *Conn) handle(seg Segment) {
 	// Established (or FIN_WAIT) path: the window check is the gate an
 	// off-path attacker must pass — the eavesdropper passes it trivially
 	// because it has seen the real sequence numbers.
+	if c.stack.retransmit && seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK != 0 {
+		// A retransmitted SYN-ACK: our handshake ACK was lost. Re-ACK so
+		// the peer leaves SYN_RECEIVED (a pure ACK provokes no reply, so
+		// this cannot loop).
+		c.sendSegment(Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: DefaultWindow})
+		return
+	}
 	if len(seg.Payload) > 0 {
 		c.ingest(seg)
 	}
 	if seg.Flags&FlagACK != 0 {
 		c.lastAck = seg.Ack
+		if c.stack.retransmit {
+			c.processAck(seg.Ack, len(seg.Payload) > 0)
+		}
 	}
 	if seg.Flags&FlagFIN != 0 && SeqLEQ(seg.Seq, c.rcvNxt) {
 		c.rcvNxt = SeqAdd(c.rcvNxt, 1)
@@ -448,6 +507,12 @@ func (c *Conn) ingest(seg Segment) {
 		k++
 	}
 	if k == 0 {
+		if c.stack.retransmit {
+			// Out-of-order data was buffered but the stream did not
+			// advance: re-ACK the byte we are stuck on. The sender counts
+			// these duplicate ACKs toward fast retransmit of the gap.
+			c.sendSegment(Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: DefaultWindow})
+		}
 		return
 	}
 	c.deliver(c.rcvWin[:k])
