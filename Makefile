@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt-check doclint test test-short race bench bench-json bench-smoke soak-smoke artifacts labd labd-smoke ci
+.PHONY: build vet fmt-check doclint test test-short race bench bench-json bench-smoke soak-smoke artifacts labd labd-smoke chaos-smoke ci
 
 ## build: compile every package and command
 build:
@@ -78,13 +78,24 @@ labd:
 labd-smoke:
 	$(GO) run ./cmd/labd -smoke
 
+## chaos-smoke: the kill-point recovery gate — crash the labd "process"
+## at every registered fault site along enqueue → run → render →
+## persist (first crossing, workers 1/4/8), restart over the surviving
+## disk state, and verify the recovery invariants: no acknowledged run
+## lost, no sequence reissued, resumable runs resumed to the exact
+## batch-CLI fingerprint (the full hit sweep runs in `make test`)
+chaos-smoke:
+	$(GO) test -short -run 'TestKillPointRecoveryMatrix' ./internal/labd
+
 ## ci: what .github/workflows/ci.yml runs — gofmt + vet + doclint, build,
 ## race tests on the short corpora (the full-size crawl would dominate the
 ## race run), a single-iteration benchmark smoke pass, the short soak
-## gate, the serving smoke gate, and the artifact regeneration
+## gate, the serving smoke gate, the kill-point recovery gate, and the
+## artifact regeneration
 ci: fmt-check vet doclint build
 	$(GO) test -short -race ./...
 	$(MAKE) bench-smoke
 	$(MAKE) soak-smoke
 	$(MAKE) labd-smoke
+	$(MAKE) chaos-smoke
 	$(MAKE) artifacts

@@ -16,6 +16,13 @@
 // ephemeral loopback port, enqueue one artifact over real HTTP, poll it
 // to completion, and assert the served SHA-256 fingerprint equals the
 // batch CLI's manifest entry for the same spec, params, and format.
+//
+// -chaos <seed> serves with deterministic storage chaos armed: every
+// store.* fault site (internal/chaos) fails on a seeded recurring
+// schedule, so operators can rehearse how clients and the recovery
+// path behave under ENOSPC, torn writes, failed renames, and fsync
+// errors. The daemon must survive everything -chaos injects; the same
+// seed replays the same fault schedule.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"masterparasite/internal/artifact"
+	"masterparasite/internal/chaos"
 	"masterparasite/internal/daemon"
 	_ "masterparasite/internal/experiments" // self-registers the paper's artifacts
 	"masterparasite/internal/labd"
@@ -55,8 +63,15 @@ func run(args []string, stdout io.Writer) error {
 	smoke := fs.Bool("smoke", false, "run the serving smoke gate and exit")
 	smokeSpec := fs.String("spec", "flows", "artifact to enqueue in -smoke mode")
 	smokeFormat := fs.String("format", "json", "render format in -smoke mode")
+	chaosSeed := fs.Int64("chaos", 0, "arm recurring storage faults from this seed (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaosSeed < 0 {
+		return fmt.Errorf("chaos seed must be positive, got %d", *chaosSeed)
+	}
+	if *chaosSeed != 0 && *smoke {
+		return fmt.Errorf("-chaos and -smoke are mutually exclusive: the smoke gate asserts byte-identity, chaos injects faults")
 	}
 
 	if *smoke {
@@ -68,13 +83,23 @@ func run(args []string, stdout io.Writer) error {
 		return runSmoke(dir, *smokeSpec, *smokeFormat, *workers, stdout)
 	}
 
-	srv, err := labd.Open(labd.Config{StoreDir: *storeDir, Fleets: *fleets, Workers: *workers})
+	cfg := labd.Config{StoreDir: *storeDir, Fleets: *fleets, Workers: *workers}
+	if *chaosSeed != 0 {
+		ctrl := chaos.New(*chaosSeed)
+		ctrl.ArmStoreFaults()
+		cfg.Chaos = ctrl
+		cfg.FS = chaos.BindFS(ctrl)
+	}
+	srv, err := labd.Open(cfg)
 	if err != nil {
 		return err
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
+	}
+	if *chaosSeed != 0 {
+		fmt.Fprintf(stdout, "labd chaos armed: recurring store.* faults, seed %d\n", *chaosSeed)
 	}
 	fmt.Fprintf(stdout, "labd listening on http://%s (store %s, %d fleets)\n", ln.Addr(), *storeDir, *fleets)
 	fmt.Fprintln(stdout, "routes: /healthz /readyz /v1/specs /v1/runs /v1/runs/{id}{,/artifact,/events}")

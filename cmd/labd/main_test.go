@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation locks the upfront CLI contract: bad invocations
+// fail before a listener ever opens, with errors naming the problem.
+func TestFlagValidation(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative chaos seed", []string{"-chaos", "-7"}, "chaos seed must be positive"},
+		{"chaos with smoke", []string{"-chaos", "42", "-smoke"}, "mutually exclusive"},
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"smoke unknown spec", []string{"-smoke", "-spec", "no-such-artifact"}, "unknown spec"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			err := run(c.args, &strings.Builder{})
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("run(%v) err = %v, want containing %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+// TestSmokeGate exercises the -smoke path end to end on an ephemeral
+// store: daemon, HTTP enqueue, poll, byte-identity against the batch
+// render.
+func TestSmokeGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke gate runs a full artifact; skipped in -short")
+	}
+	t.Parallel()
+	var out strings.Builder
+	if err := runSmoke(t.TempDir(), "flows", "json", 1, &out); err != nil {
+		t.Fatalf("smoke gate failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "smoke: PASS") {
+		t.Fatalf("smoke gate produced no PASS line:\n%s", out.String())
+	}
+}

@@ -1,0 +1,231 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScheduleIsDeterministic locks the splitmix64 schedule: two
+// controllers with the same seed draw identical hit offsets for the
+// same sites, and a different seed draws a different schedule
+// somewhere across the site set.
+func TestScheduleIsDeterministic(t *testing.T) {
+	t.Parallel()
+	fireHit := func(seed int64, site string) int {
+		c := New(seed)
+		c.Arm(site, Fail)
+		for i := 1; i <= 4*scheduleWindow; i++ {
+			if c.Hit(site).Fired {
+				return i
+			}
+		}
+		return -1
+	}
+	sites := []string{SiteWrite, SiteRename, SiteSync, "fleet.job.crash"}
+	diverged := false
+	for _, site := range sites {
+		a, b := fireHit(42, site), fireHit(42, site)
+		if a != b || a < 1 || a > scheduleWindow {
+			t.Fatalf("site %s: same seed drew hits %d vs %d (window %d)", site, a, b, scheduleWindow)
+		}
+		if fireHit(43, site) != a {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 drew identical schedules across every site")
+	}
+}
+
+// TestCrashLatchesEverything: after a Crash fault fires, every
+// operation at every site — including ones never armed — fails with
+// ErrKilled until the controller is discarded.
+func TestCrashLatchesEverything(t *testing.T) {
+	t.Parallel()
+	c := New(7)
+	c.ArmAt(SiteRename, 2, Crash)
+	if c.Hit(SiteRename).Fired {
+		t.Fatal("fault fired on hit 1, armed for hit 2")
+	}
+	v := c.Hit(SiteRename)
+	if !v.Fired || v.Kind != Crash || !c.Killed() {
+		t.Fatalf("hit 2 verdict %+v, killed=%v", v, c.Killed())
+	}
+	for _, site := range []string{SiteWrite, SiteRead, "never.armed"} {
+		if err := c.Hit(site).Err(site); !IsKilled(err) {
+			t.Fatalf("site %s after crash: err = %v, want ErrKilled", site, err)
+		}
+	}
+	if got := c.Fired(SiteRename); got != 1 {
+		t.Fatalf("Fired(%s) = %d, want 1", SiteRename, got)
+	}
+}
+
+// TestFailRecursAndRearms: a Fail fault armed via Arm fires more than
+// once on the seeded schedule, and the process survives each firing.
+func TestFailRecursAndRearms(t *testing.T) {
+	t.Parallel()
+	c := New(11)
+	c.Arm(SiteWrite, Fail)
+	fired := 0
+	for i := 0; i < 20*scheduleWindow; i++ {
+		if v := c.Hit(SiteWrite); v.Fired {
+			fired++
+			if v.Kind != Fail {
+				t.Fatalf("recurring fault fired kind %v", v.Kind)
+			}
+		}
+	}
+	if fired < 2 {
+		t.Fatalf("recurring Fail fired %d times in %d hits", fired, 20*scheduleWindow)
+	}
+	if c.Killed() {
+		t.Fatal("Fail faults must never latch the crash state")
+	}
+}
+
+// TestPointZeroWhenDisarmed: with no global controller, Point is inert;
+// Enable routes it to the controller and Disable restores inertness.
+func TestPointZeroWhenDisarmed(t *testing.T) {
+	// Not parallel: owns the global controller.
+	Disable()
+	if err := Point(SiteWrite); err != nil {
+		t.Fatalf("disarmed Point = %v", err)
+	}
+	c := New(3)
+	c.ArmAt(SiteWrite, 1, Fail)
+	Enable(c)
+	defer Disable()
+	if err := Point(SiteWrite); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed Point = %v, want ErrInjected", err)
+	}
+	if err := Point(SiteWrite); err != nil {
+		t.Fatalf("one-shot ArmAt fired twice: %v", err)
+	}
+	Disable()
+	c2 := New(3)
+	c2.ArmAt(SiteWrite, 1, Fail)
+	if err := Point(SiteWrite); err != nil {
+		t.Fatalf("Point after Disable = %v", err)
+	}
+}
+
+// TestFSShortWriteLeavesPrefix locks the torn-write model: the fault
+// leaves a strict prefix of the data on disk and reports the injected
+// error (Fail) or the latched kill (Crash).
+func TestFSShortWriteLeavesPrefix(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	data := []byte(`{"id":"run-000001","status":"queued"}` + "\n")
+
+	c := New(21)
+	c.ArmAt(SiteWriteShort, 1, Fail)
+	f := BindFS(c)
+	path := filepath.Join(dir, "short.json")
+	err := f.WriteFile(path, data, 0o644)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("short write err = %v, want ErrNoSpace", err)
+	}
+	got, readErr := os.ReadFile(path)
+	if readErr != nil {
+		t.Fatalf("torn file unreadable: %v", readErr)
+	}
+	if len(got) >= len(data) || string(got) != string(data[:len(got)]) {
+		t.Fatalf("torn file holds %q (%d bytes), want a strict prefix of %d bytes", got, len(got), len(data))
+	}
+
+	c2 := New(21)
+	c2.ArmAt(SiteWriteShort, 1, Crash)
+	f2 := BindFS(c2)
+	path2 := filepath.Join(dir, "crash.json")
+	if err := f2.WriteFile(path2, data, 0o644); !IsKilled(err) {
+		t.Fatalf("crash short write err = %v, want ErrKilled", err)
+	}
+	if _, err := f2.ReadFile(path2); !IsKilled(err) {
+		t.Fatalf("read after crash = %v, want ErrKilled", err)
+	}
+	// Same seed → same cut point: the two torn files are identical.
+	got2, _ := os.ReadFile(path2)
+	if string(got2) != string(got) {
+		t.Fatalf("cut points diverged for one seed: %q vs %q", got, got2)
+	}
+}
+
+// TestFSFaultsPerSite: ENOSPC on write, injected failures on sync,
+// rename, and remove — each surfacing at its own site, each leaving
+// the process alive.
+func TestFSFaultsPerSite(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	data := []byte("payload\n")
+
+	c := New(5)
+	c.ArmAt(SiteWrite, 1, Fail)
+	f := BindFS(c)
+	path := filepath.Join(dir, "a")
+	if err := f.WriteFile(path, data, 0o644); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("write fault = %v, want ErrNoSpace", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("failed write left a file behind")
+	}
+	// Disarmed afterwards: the same operations succeed.
+	if err := f.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write after one-shot fault: %v", err)
+	}
+
+	c.ArmAt(SiteSync, 1, Fail)
+	if err := f.Sync(path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync fault = %v", err)
+	}
+	if err := f.Sync(path); err != nil {
+		t.Fatalf("sync after fault: %v", err)
+	}
+
+	c.ArmAt(SiteRename, 1, Fail)
+	if err := f.Rename(path, path+".new"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename fault = %v", err)
+	}
+	if err := f.Rename(path, path+".new"); err != nil {
+		t.Fatalf("rename after fault: %v", err)
+	}
+
+	c.ArmAt(SiteRemove, 1, Fail)
+	if err := f.Remove(path + ".new"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("remove fault = %v", err)
+	}
+	if err := f.Remove(path + ".new"); err != nil {
+		t.Fatalf("remove after fault: %v", err)
+	}
+}
+
+// TestSitesEnumeratesStoreSites: the registry carries every store.*
+// site with a description — what the recovery matrix sweeps.
+func TestSitesEnumeratesStoreSites(t *testing.T) {
+	t.Parallel()
+	want := []string{SiteWrite, SiteWriteShort, SiteSync, SiteSyncDir, SiteRename, SiteRemove, SiteRead, SiteReadDir}
+	have := make(map[string]Site)
+	for _, s := range Sites() {
+		have[s.Name] = s
+	}
+	for _, name := range want {
+		s, ok := have[name]
+		if !ok || s.Desc == "" {
+			t.Fatalf("site %s missing or undescribed in registry", name)
+		}
+	}
+}
+
+// BenchmarkPointDisarmed pins the zero-cost claim: a disarmed fault
+// point is one atomic load.
+func BenchmarkPointDisarmed(b *testing.B) {
+	Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Point(SiteWrite); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

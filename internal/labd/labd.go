@@ -30,8 +30,31 @@ import (
 	"time"
 
 	"masterparasite/internal/artifact"
+	"masterparasite/internal/chaos"
 	"masterparasite/internal/runner"
 )
+
+// Fleet-level chaos fault sites: the kill-points along a run's
+// execution path that are not filesystem operations. Together with the
+// store.* sites (internal/chaos), they cover every transition of
+// enqueue → run → render → persist.
+const (
+	// SiteJobStart fires before a popped run transitions to running —
+	// the process dying between dequeue and the first durable stage.
+	SiteJobStart = "fleet.job.start"
+	// SiteJobCrash fires after the artifact executed but before the
+	// rendering stage — the classic "work done, commit lost" window.
+	SiteJobCrash = "fleet.job.crash"
+	// SiteJobRender fires after rendering but before the artifact bytes
+	// are persisted.
+	SiteJobRender = "fleet.job.render"
+)
+
+func init() {
+	chaos.RegisterSite(SiteJobStart, "before a dequeued run turns running")
+	chaos.RegisterSite(SiteJobCrash, "after execution, before rendering")
+	chaos.RegisterSite(SiteJobRender, "after rendering, before artifact persist")
+}
 
 // Config parameterises a Server.
 type Config struct {
@@ -61,12 +84,29 @@ type Config struct {
 	// inject a recorder so retry schedules are assertable without
 	// real delays.
 	Sleep func(time.Duration)
+	// MaxResumes bounds how many daemon restarts a resumable run may
+	// survive mid-flight before recovery latches it failed instead of
+	// re-enqueueing it. <= 0 selects 3.
+	MaxResumes int
+	// FS is the filesystem the store commits through; nil selects
+	// chaos.OS — the real filesystem, instrumented with chaos fault
+	// points that cost one atomic load while disarmed. The chaos
+	// harness injects chaos.BindFS(ctrl) to bind faults to a private
+	// controller.
+	FS chaos.FS
+	// Chaos, when non-nil, is the fault controller the fleet's own
+	// kill-points (SiteJobStart, SiteJobCrash, SiteJobRender) consult;
+	// nil selects the process-global controller, which fires nothing
+	// unless chaos.Enable armed it.
+	Chaos *chaos.Controller
 }
 
 // Server is the orchestrator: store + index, queue, fleets, events.
 // Construct with Open, which also recovers state from a previous
-// process: still-queued runs are re-enqueued, runs that were mid-flight
-// when the process died are marked failed ("interrupted by restart").
+// process: still-queued runs are re-enqueued; runs that were mid-flight
+// when the process died are resumed (resumable specs with budget left —
+// their checkpoint skips completed fleet chunks) or marked failed
+// ("interrupted by restart").
 type Server struct {
 	cfg   Config
 	store *Store
@@ -102,7 +142,10 @@ func Open(cfg Config) (*Server, error) {
 	if cfg.Sleep == nil {
 		cfg.Sleep = time.Sleep
 	}
-	store, err := OpenStore(cfg.StoreDir)
+	if cfg.MaxResumes <= 0 {
+		cfg.MaxResumes = 3
+	}
+	store, err := OpenStoreFS(cfg.StoreDir, cfg.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +157,7 @@ func Open(cfg Config) (*Server, error) {
 		cfg:   cfg,
 		store: store,
 		recs:  make(map[string]*Record, len(recs)),
-		seq:   NextSeq(recs),
+		seq:   store.NextSeq(),
 		subs:  make(subscribers),
 		queue: newFIFO(),
 	}
@@ -124,16 +167,36 @@ func Open(cfg Config) (*Server, error) {
 			// Never started: resume exactly where the last process
 			// left off.
 			s.queue.Push(r.ID)
-		case StatusRunning, StatusRetrying, StatusRendering:
-			// The owning process died mid-run; the run cannot be
-			// resumed (scenario state was in memory), so latch the
-			// failure durably.
+		case StatusRunning, StatusRetrying, StatusRendering, StatusResumed:
+			// The owning process died mid-run. A resumable spec with
+			// budget left re-enters the queue: its Run is safe to
+			// re-execute and its checkpoint skips completed chunks.
+			// Anything else cannot be resumed (scenario state was in
+			// memory), so latch the failure durably.
+			spec, known := artifact.Get(r.Spec)
+			if known && spec.Resumable && r.Resumes < cfg.MaxResumes {
+				r.Resumes++
+				r.Status = StatusResumed
+				r.Stages = append(r.Stages, Stage{
+					Stage: StatusResumed, At: cfg.Now().UTC(),
+					Detail: fmt.Sprintf("resumed after restart (%d/%d)", r.Resumes, cfg.MaxResumes),
+				})
+				if err := store.PutRecord(r); err != nil {
+					return nil, err
+				}
+				s.queue.Push(r.ID)
+				break
+			}
 			r.Status = StatusFailed
 			r.Error = "interrupted by restart"
+			if known && spec.Resumable {
+				r.Error = "interrupted by restart (resume budget exhausted)"
+			}
 			r.Stages = append(r.Stages, Stage{Stage: StatusFailed, At: cfg.Now().UTC(), Detail: r.Error})
 			if err := store.PutRecord(r); err != nil {
 				return nil, err
 			}
+			store.RemoveCheckpoint(r.ID)
 		}
 		s.recs[r.ID] = r
 		s.order = append(s.order, r.ID)
@@ -248,6 +311,13 @@ func (s *Server) Enqueue(req EnqueueRequest) (*Record, error) {
 	snap := rec.Clone()
 	if err == nil {
 		s.subs.publish(rec.ID, Event{Run: rec.ID, Stage: StatusQueued, At: rec.Stages[0].At})
+	} else {
+		// Never acknowledged: roll the ghost record back out of the
+		// index so Get/List only ever show durable runs. The sequence
+		// number stays consumed — IDs are never reissued, even for runs
+		// that failed to persist.
+		delete(s.recs, rec.ID)
+		s.order = s.order[:len(s.order)-1]
 	}
 	s.mu.Unlock()
 	if err != nil {
@@ -295,6 +365,13 @@ func (s *Server) Artifact(id string) ([]byte, *Record, error) {
 	if err != nil {
 		return nil, rec, err
 	}
+	// Artifact files are stored raw (no in-file checksum trailer); the
+	// record's fingerprint is their integrity check. Re-verify on every
+	// read so on-disk corruption surfaces as an error, never as wrong
+	// bytes served with a matching-looking record.
+	if fp := artifact.Fingerprint(b); fp != rec.SHA256 {
+		return nil, rec, fmt.Errorf("run %s artifact is corrupted: sha256 %s, record says %s", id, fp, rec.SHA256)
+	}
 	return b, rec, nil
 }
 
@@ -309,7 +386,11 @@ func (s *Server) Subscribe(id string) (<-chan Event, bool) {
 	if !ok {
 		return nil, false
 	}
-	ch := make(chan Event, maxStages)
+	// Buffer the full replay plus headroom for live transitions: a run
+	// recovered across several restarts can carry more recorded stages
+	// than maxStages, and the replay loop below must never block while
+	// the server lock is held.
+	ch := make(chan Event, len(rec.Stages)+maxStages)
 	for _, ev := range eventsFromStages(id, rec.Stages) {
 		ch <- ev
 	}
@@ -373,7 +454,23 @@ func (s *Server) fleet() {
 	}
 }
 
+// chaosPoint consults the fault controller for a fleet kill-point:
+// the config's controller when the harness injected one, else the
+// process-global one (armed only under `labd -chaos`).
+func (s *Server) chaosPoint(site string) error {
+	if c := s.cfg.Chaos; c != nil {
+		return c.Hit(site).Err(site)
+	}
+	return chaos.Point(site)
+}
+
 // execute drives one run through running → rendering → done/failed.
+//
+// Every error path checks chaos.IsKilled: a Crash verdict models the
+// process dying at that instant, so the goroutine returns without
+// writing anything further — exactly what a killed process would leave
+// behind. The kill-point recovery matrix restarts a server over the
+// resulting disk state and asserts the invariants hold.
 func (s *Server) execute(id string) {
 	s.mu.Lock()
 	rec := s.recs[id]
@@ -385,6 +482,13 @@ func (s *Server) execute(id string) {
 		s.setStage(id, StatusFailed, fmt.Sprintf("spec %q vanished from the registry", specID))
 		return
 	}
+	if err := s.chaosPoint(SiteJobStart); err != nil {
+		if chaos.IsKilled(err) {
+			return
+		}
+		s.setStage(id, StatusFailed, err.Error())
+		return
+	}
 	s.setStage(id, StatusRunning, "")
 	pool := runner.New(s.cfg.Workers)
 	env, err := spec.NewEnv(pool, overrides)
@@ -394,11 +498,20 @@ func (s *Server) execute(id string) {
 		s.setStage(id, StatusFailed, err.Error())
 		return
 	}
+	if spec.Resumable {
+		// Hand the run its durable chunk checkpoint: completed fleet
+		// chunks from a previous attempt are skipped, fresh ones are
+		// committed as they finish.
+		env.Checkpoint = s.store.Checkpoint(id)
+	}
 	var res *artifact.Result
 	for attempt := 1; ; attempt++ {
 		res, err = spec.Exec(env)
 		if err == nil {
 			break
+		}
+		if chaos.IsKilled(err) {
+			return
 		}
 		transient := errors.Is(err, artifact.ErrTransient)
 		if !transient && attempt == 1 {
@@ -421,6 +534,13 @@ func (s *Server) execute(id string) {
 		s.cfg.Sleep(delay)
 	}
 
+	if err := s.chaosPoint(SiteJobCrash); err != nil {
+		if chaos.IsKilled(err) {
+			return
+		}
+		s.setStage(id, StatusFailed, err.Error())
+		return
+	}
 	s.setStage(id, StatusRendering, format)
 	renderer, err := artifact.RendererFor(format)
 	if err != nil { // cannot happen: Enqueue validated the format
@@ -433,7 +553,17 @@ func (s *Server) execute(id string) {
 		return
 	}
 	rendered := buf.Bytes()
+	if err := s.chaosPoint(SiteJobRender); err != nil {
+		if chaos.IsKilled(err) {
+			return
+		}
+		s.setStage(id, StatusFailed, err.Error())
+		return
+	}
 	if err := s.store.PutArtifact(id, rendered); err != nil {
+		if chaos.IsKilled(err) {
+			return
+		}
 		s.setStage(id, StatusFailed, err.Error())
 		return
 	}
@@ -443,4 +573,6 @@ func (s *Server) execute(id string) {
 	rec.SHA256 = fp
 	s.mu.Unlock()
 	s.setStage(id, StatusDone, "sha256:"+fp)
+	// The chunks served their purpose; drop the checkpoint file.
+	s.store.RemoveCheckpoint(id)
 }

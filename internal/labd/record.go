@@ -9,9 +9,11 @@ import (
 // forward: queued → running → retrying* → rendering → done|failed,
 // where retrying repeats once per transient execution failure below the
 // attempt cap (each retrying stage's detail carries the attempt count).
-// A daemon restart may additionally move a run that was mid-flight when
-// the process died straight to failed (detail "interrupted by
-// restart").
+// A daemon restart moves a run that was mid-flight when the process
+// died either to resumed — when its spec is Resumable and the resume
+// budget (Config.MaxResumes) is not exhausted, after which the run
+// re-enters running and skips fleet chunks its checkpoint already
+// committed — or straight to failed (detail "interrupted by restart").
 type Status string
 
 // The run lifecycle stages, in order.
@@ -19,6 +21,7 @@ const (
 	StatusQueued    Status = "queued"
 	StatusRunning   Status = "running"
 	StatusRetrying  Status = "retrying"
+	StatusResumed   Status = "resumed"
 	StatusRendering Status = "rendering"
 	StatusDone      Status = "done"
 	StatusFailed    Status = "failed"
@@ -58,6 +61,11 @@ type Record struct {
 	Status Status  `json:"status"`
 	Stages []Stage `json:"stages"`
 	Error  string  `json:"error,omitempty"`
+
+	// Resumes counts how many daemon restarts this run has survived
+	// mid-flight; recovery latches the run failed once it exceeds
+	// Config.MaxResumes instead of resuming forever.
+	Resumes int `json:"resumes,omitempty"`
 
 	// Bytes and SHA256 describe the rendered artifact once Status is
 	// done; SHA256 is comparable against artifact.ManifestEntry.SHA256.

@@ -1,68 +1,158 @@
 package labd
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+
+	"masterparasite/internal/chaos"
 )
 
-// Store persists run records and rendered artifacts in a directory, one
-// run per record file:
+// Store persists run records, rendered artifacts, and run checkpoints
+// in a directory, one run per file set:
 //
-//	<dir>/run-000042.json  — the Record (indented JSON)
+//	<dir>/run-000042.json  — the Record (indented JSON + checksum trailer)
 //	<dir>/run-000042.out   — the rendered artifact bytes (once done)
+//	<dir>/run-000042.ckpt  — the chunk checkpoint (while a resumable run executes)
 //
-// Writes are crash-safe: every file is written to a same-directory
-// ".tmp" path and atomically renamed into place, so a record file on
-// disk is always a complete JSON document — a crash can lose the very
-// latest transition, never corrupt a record. The Store itself does no
-// locking; the Server serialises writes per run (each run is owned by
-// exactly one fleet goroutine after enqueue).
+// # Durability contract
+//
+// Every file is committed through writeAtomic: write to a
+// same-directory ".tmp" path, fsync the tmp file, rename it into
+// place, fsync the directory. After writeAtomic returns nil the bytes
+// are crash-durable — they survive a process kill or power loss — and
+// a reader never observes a partial file under the final name. A crash
+// anywhere before the rename leaves only a ".tmp" (swept on recovery);
+// a crash after it leaves the complete new file.
+//
+// # Integrity
+//
+// Record and checkpoint files carry a trailing "sha256:<hex>" line
+// over their body. Load verifies it: a file that is torn, truncated,
+// or undecodable is quarantined — renamed to "<name>.corrupt" — and
+// recovery continues with the rest, instead of aborting the daemon.
+// Quarantined run files still pin their sequence numbers, so a
+// corrupted record can never cause a run ID to be reissued.
+//
+// The Store does no run-level locking; the Server serialises writes
+// per run (each run is owned by exactly one fleet goroutine after
+// enqueue). All filesystem access goes through an injectable chaos.FS,
+// which is how the chaos harness delivers short writes, failed
+// renames, ENOSPC, fsync errors, and kill-points into every one of
+// these paths.
 type Store struct {
 	dir string
+	fs  chaos.FS
+
+	mu          sync.Mutex
+	maxSeq      int      // highest run sequence seen on disk, incl. quarantined files
+	quarantined []string // files Load moved aside as .corrupt
 }
 
-// OpenStore creates the directory if needed and returns a store on it.
+// OpenStore creates the directory if needed and returns a store on it,
+// backed by the real filesystem (chaos.OS — instrumented, zero-cost
+// while no chaos controller is enabled).
 func OpenStore(dir string) (*Store, error) {
+	return OpenStoreFS(dir, chaos.OS)
+}
+
+// OpenStoreFS is OpenStore with an explicit filesystem — the seam the
+// chaos harness injects faults through.
+func OpenStoreFS(dir string, fsys chaos.FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("labd: store directory must be set")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = chaos.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("labd store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fs: fsys}, nil
 }
 
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-func (s *Store) recordPath(id string) string   { return filepath.Join(s.dir, id+".json") }
-func (s *Store) artifactPath(id string) string { return filepath.Join(s.dir, id+".out") }
+func (s *Store) recordPath(id string) string     { return filepath.Join(s.dir, id+".json") }
+func (s *Store) artifactPath(id string) string   { return filepath.Join(s.dir, id+".out") }
+func (s *Store) checkpointPath(id string) string { return filepath.Join(s.dir, id+".ckpt") }
 
-// writeAtomic writes data to path via a temporary file and rename, so
-// readers (and a restarted daemon) never observe a partial file.
-func writeAtomic(path string, data []byte) error {
+// writeAtomic commits data to path with the full durability chain:
+// tmp write → fsync(tmp) → rename → fsync(dir). See the Store doc
+// comment for the contract this buys.
+func (s *Store) writeAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := s.fs.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := s.fs.Sync(tmp); err != nil {
+		return err
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		return err
+	}
+	return s.fs.SyncDir(s.dir)
+}
+
+// sealTrailerLen is len("sha256:") + 64 hex digits + newline.
+const sealTrailerLen = 7 + sha256.Size*2 + 1
+
+// seal appends the integrity trailer — one "sha256:<hex>\n" line over
+// body — producing the on-disk form of record and checkpoint files.
+func seal(body []byte) []byte {
+	sum := sha256.Sum256(body)
+	out := make([]byte, 0, len(body)+sealTrailerLen)
+	out = append(out, body...)
+	out = append(out, "sha256:"...)
+	out = hex.AppendEncode(out, sum[:])
+	return append(out, '\n')
+}
+
+// unseal verifies and strips the integrity trailer. Files without a
+// trailer (written before checksums existed) pass through unchanged —
+// their decodability is the only check available. A present-but-wrong
+// trailer, or a trailer over mismatching bytes, is corruption.
+func unseal(data []byte) ([]byte, error) {
+	if len(data) < sealTrailerLen {
+		if bytes.HasPrefix(bytes.TrimSpace(data), []byte("sha256:")) {
+			return nil, fmt.Errorf("truncated checksum trailer")
+		}
+		return data, nil
+	}
+	trailer := data[len(data)-sealTrailerLen:]
+	if !bytes.HasPrefix(trailer, []byte("sha256:")) || trailer[sealTrailerLen-1] != '\n' {
+		return data, nil // legacy file, no trailer
+	}
+	body := data[:len(data)-sealTrailerLen]
+	sum := sha256.Sum256(body)
+	want := trailer[7 : sealTrailerLen-1]
+	if !bytes.Equal([]byte(hex.EncodeToString(sum[:])), want) {
+		return nil, fmt.Errorf("checksum mismatch: body does not hash to %s", want)
+	}
+	return body, nil
 }
 
 // PutRecord durably writes one run record.
 func (s *Store) PutRecord(r *Record) error {
-	if err := writeAtomic(s.recordPath(r.ID), encodeRecord(r)); err != nil {
+	if err := s.writeAtomic(s.recordPath(r.ID), seal(encodeRecord(r))); err != nil {
 		return fmt.Errorf("labd store: record %s: %w", r.ID, err)
 	}
 	return nil
 }
 
-// PutArtifact durably writes a run's rendered artifact bytes.
+// PutArtifact durably writes a run's rendered artifact bytes. Artifact
+// files are stored raw — the bytes served must be exactly the bytes
+// rendered — so their integrity check is the SHA-256 fingerprint on
+// the run record, not an in-file trailer.
 func (s *Store) PutArtifact(id string, rendered []byte) error {
-	if err := writeAtomic(s.artifactPath(id), rendered); err != nil {
+	if err := s.writeAtomic(s.artifactPath(id), rendered); err != nil {
 		return fmt.Errorf("labd store: artifact %s: %w", id, err)
 	}
 	return nil
@@ -70,7 +160,7 @@ func (s *Store) PutArtifact(id string, rendered []byte) error {
 
 // GetArtifact reads a run's rendered artifact bytes.
 func (s *Store) GetArtifact(id string) ([]byte, error) {
-	b, err := os.ReadFile(s.artifactPath(id))
+	b, err := s.fs.ReadFile(s.artifactPath(id))
 	if err != nil {
 		return nil, fmt.Errorf("labd store: artifact %s: %w", id, err)
 	}
@@ -78,11 +168,16 @@ func (s *Store) GetArtifact(id string) ([]byte, error) {
 }
 
 // Load reads every record in the directory, sorted by run ID (IDs are
-// zero-padded, so lexicographic order is enqueue order). Leftover ".tmp"
-// files from a crash mid-write are removed; unreadable or non-record
-// files are skipped rather than failing the whole daemon start.
+// zero-padded, so lexicographic order is enqueue order).
+//
+// Recovery is tolerant of debris but strict about I/O: leftover ".tmp"
+// files from a crash mid-write are removed; record files that fail the
+// checksum or do not decode are quarantined to "<name>.corrupt" and
+// skipped (Quarantined reports them) so one torn record cannot take
+// the daemon down; but a genuine read error aborts Load — skipping a
+// record that exists and cannot be read would silently lose runs.
 func (s *Store) Load() ([]*Record, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("labd store: %w", err)
 	}
@@ -90,18 +185,27 @@ func (s *Store) Load() ([]*Record, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if strings.HasSuffix(name, ".tmp") {
-			_ = os.Remove(filepath.Join(s.dir, name))
+			// An uncommitted write: the rename never happened, so no
+			// client was ever told this state existed. Sweep it.
+			_ = s.fs.Remove(filepath.Join(s.dir, name))
 			continue
 		}
+		s.noteSeq(name)
 		if !strings.HasPrefix(name, "run-") || !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		b, err := os.ReadFile(filepath.Join(s.dir, name))
+		b, err := s.fs.ReadFile(filepath.Join(s.dir, name))
 		if err != nil {
+			return nil, fmt.Errorf("labd store: read %s: %w", name, err)
+		}
+		body, err := unseal(b)
+		if err != nil {
+			s.quarantine(name)
 			continue
 		}
 		var r Record
-		if err := json.Unmarshal(b, &r); err != nil || r.ID == "" {
+		if err := json.Unmarshal(body, &r); err != nil || r.ID == "" {
+			s.quarantine(name)
 			continue
 		}
 		recs = append(recs, &r)
@@ -110,8 +214,51 @@ func (s *Store) Load() ([]*Record, error) {
 	return recs, nil
 }
 
-// NextSeq returns the next run sequence number after every record
-// returned by Load — max existing + 1, so restarts never reuse an ID.
+// quarantine moves a corrupt file aside as "<name>.corrupt" so
+// recovery can proceed without it and an operator can inspect it.
+func (s *Store) quarantine(name string) {
+	_ = s.fs.Rename(filepath.Join(s.dir, name), filepath.Join(s.dir, name+".corrupt"))
+	s.mu.Lock()
+	s.quarantined = append(s.quarantined, name)
+	s.mu.Unlock()
+}
+
+// Quarantined returns the files Load moved aside as corrupt.
+func (s *Store) Quarantined() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.quarantined...)
+}
+
+// noteSeq pins the sequence number embedded in any committed run file
+// name — including ".corrupt" quarantines and orphaned artifacts — so
+// NextSeq can never reissue an ID that was ever acknowledged, even if
+// its record is now unreadable. ".tmp" names never get here: an
+// uncommitted write was never acknowledged, so its sequence is free.
+func (s *Store) noteSeq(name string) {
+	var n int
+	if _, err := fmt.Sscanf(name, "run-%d.", &n); err == nil {
+		s.mu.Lock()
+		if n > s.maxSeq {
+			s.maxSeq = n
+		}
+		s.mu.Unlock()
+	}
+}
+
+// NextSeq returns the next run sequence number after everything Load
+// observed on disk — committed records, quarantined corpses, orphaned
+// artifacts — so restarts never reuse an acknowledged ID.
+func (s *Store) NextSeq() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxSeq + 1
+}
+
+// NextSeq returns the next run sequence number after every record in
+// recs — max existing + 1. Store.NextSeq supersedes it for recovery
+// (it also accounts for quarantined files); this form remains for
+// callers that only hold decoded records.
 func NextSeq(recs []*Record) int {
 	next := 1
 	for _, r := range recs {

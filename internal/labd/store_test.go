@@ -115,3 +115,153 @@ func TestRestartRecovery(t *testing.T) {
 		t.Fatalf("next ID = %s, want run-000008", rec.ID)
 	}
 }
+
+// TestLoadQuarantinesCorruptRecords is the truncated-JSON regression:
+// recovery over a store holding one valid record and one torn record
+// must quarantine the torn file to .corrupt, keep serving the valid
+// run, and never reissue the quarantined sequence number.
+func TestLoadQuarantinesCorruptRecords(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	srv := openServer(t, labd.Config{StoreDir: dir})
+	var ids []string
+	for i := 0; i < 2; i++ {
+		rec, err := srv.Enqueue(labd.EnqueueRequest{Spec: "labd-t-ok"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, rec.ID)
+	}
+	for _, id := range ids {
+		if waitDone(t, srv, id).Status != labd.StatusDone {
+			t.Fatalf("run %s did not finish", id)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the second record mid-JSON, as a pre-checksum crash would.
+	victim := filepath.Join(dir, ids[1]+".json")
+	b, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := openServer(t, labd.Config{StoreDir: dir})
+	if got, ok := srv2.Get(ids[0]); !ok || got.Status != labd.StatusDone {
+		t.Fatalf("valid run lost alongside the corrupt one: %+v", got)
+	}
+	if _, ok := srv2.Get(ids[1]); ok {
+		t.Fatalf("corrupt record %s still served", ids[1])
+	}
+	if _, err := os.Stat(victim + ".corrupt"); err != nil {
+		t.Fatalf("corrupt record not quarantined: %v", err)
+	}
+	q := srv2.Store().Quarantined()
+	if len(q) != 1 || q[0] != ids[1]+".json" {
+		t.Fatalf("quarantine report = %v, want [%s.json]", q, ids[1])
+	}
+	// The quarantined file still pins its sequence number.
+	rec, err := srv2.Enqueue(labd.EnqueueRequest{Spec: "labd-t-ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != "run-000003" {
+		t.Fatalf("fresh run = %s, want run-000003 (quarantined seq must stay burned)", rec.ID)
+	}
+}
+
+// TestCheckpointRoundTrip locks the checkpoint file format: committed
+// chunks survive a store reopen, and a corrupted checkpoint is
+// quarantined and treated as empty (recompute, never corrupt).
+func TestCheckpointRoundTrip(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	store, err := labd.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := store.Checkpoint("run-000042")
+	if err := ck.Commit("chunk:v1:8:0-4", []byte(`[1,2,3,4]`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Commit("chunk:v1:8:4-8", []byte(`[5,6,7,8]`)); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := labd.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2 := store2.Checkpoint("run-000042")
+	if ck2.Len() != 2 {
+		t.Fatalf("reloaded checkpoint holds %d chunks, want 2", ck2.Len())
+	}
+	if b, ok := ck2.Lookup("chunk:v1:8:4-8"); !ok || string(b) != `[5,6,7,8]` {
+		t.Fatalf("chunk lookup = %q, %v", b, ok)
+	}
+	if _, ok := ck2.Lookup("chunk:v1:9:0-4"); ok {
+		t.Fatal("layout-mismatched key resolved")
+	}
+
+	// Flip a byte inside the sealed body: the checksum must catch it.
+	path := filepath.Join(dir, "run-000042.ckpt")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/3] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store3, err := labd.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck3 := store3.Checkpoint("run-000042")
+	if ck3.Len() != 0 {
+		t.Fatalf("corrupt checkpoint served %d chunks, want 0", ck3.Len())
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt checkpoint not quarantined: %v", err)
+	}
+
+	store.RemoveCheckpoint("run-000042")
+}
+
+// TestArtifactCorruptionDetected locks the serve-side integrity check:
+// artifact bytes that no longer hash to the record's fingerprint are
+// refused, never served.
+func TestArtifactCorruptionDetected(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	srv := openServer(t, labd.Config{StoreDir: dir})
+	rec, err := srv.Enqueue(labd.EnqueueRequest{Spec: "labd-t-ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waitDone(t, srv, rec.ID).Status != labd.StatusDone {
+		t.Fatal("run did not finish")
+	}
+	if _, _, err := srv.Artifact(rec.ID); err != nil {
+		t.Fatalf("pristine artifact refused: %v", err)
+	}
+	path := filepath.Join(dir, rec.ID+".out")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x01
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.Artifact(rec.ID); err == nil || !strings.Contains(err.Error(), "corrupted") {
+		t.Fatalf("corrupted artifact served: err = %v", err)
+	}
+}
