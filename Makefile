@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt-check doclint test test-short race bench bench-json bench-smoke soak-smoke artifacts labd labd-smoke chaos-smoke ci
+.PHONY: build vet fmt-check doclint test test-short race bench bench-json bench-smoke soak-smoke fleet-smoke artifacts labd labd-smoke chaos-smoke ci
 
 ## build: compile every package and command
 build:
@@ -38,13 +38,14 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 ## bench-json: run the full benchmark suite and refresh the machine-
-## readable trajectory in BENCH_4.json — the recorded pre-PR baseline is
-## preserved, "current" is replaced, and per-benchmark speedups are
-## recomputed (see cmd/benchjson)
+## readable trajectory in BENCH_10.json — the recorded pre-PR baseline
+## is preserved, "current" is replaced, and per-benchmark speedups are
+## recomputed (see cmd/benchjson); the fleet-scaling sub-benchmarks
+## carry machine-independent cpath-events/op in each metric's "extra"
 bench-json:
 	@tmp=$$(mktemp) && \
 	{ $(GO) test -bench=. -benchmem -run='^$$' . > $$tmp && \
-	  $(GO) run ./cmd/benchjson -pr 4 -update BENCH_4.json < $$tmp; } ; \
+	  $(GO) run ./cmd/benchjson -pr 10 -update BENCH_10.json < $$tmp; } ; \
 	status=$$?; rm -f $$tmp; exit $$status
 
 ## bench-smoke: every benchmark exactly once, as a does-it-run gate
@@ -78,6 +79,14 @@ labd:
 labd-smoke:
 	$(GO) run ./cmd/labd -smoke
 
+## fleet-smoke: the sharded-netsim gate — render both fleet/* artifacts
+## at 1, 4, and 8 shard workers and require byte-identical output and
+## matching manifest SHA-256 fingerprints (the 10⁵- and 10⁶-bot tiers
+## run in `make test` via TestFleetHundredKBotsByteIdentical and
+## TestFleetMillionBots)
+fleet-smoke:
+	$(GO) test -run 'TestFleetSmoke' ./internal/experiments
+
 ## chaos-smoke: the kill-point recovery gate — crash the labd "process"
 ## at every registered fault site along enqueue → run → render →
 ## persist (first crossing, workers 1/4/8), restart over the surviving
@@ -90,12 +99,13 @@ chaos-smoke:
 ## ci: what .github/workflows/ci.yml runs — gofmt + vet + doclint, build,
 ## race tests on the short corpora (the full-size crawl would dominate the
 ## race run), a single-iteration benchmark smoke pass, the short soak
-## gate, the serving smoke gate, the kill-point recovery gate, and the
-## artifact regeneration
+## gate, the sharded-fleet determinism gate, the serving smoke gate, the
+## kill-point recovery gate, and the artifact regeneration
 ci: fmt-check vet doclint build
 	$(GO) test -short -race ./...
 	$(MAKE) bench-smoke
 	$(MAKE) soak-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) labd-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) artifacts

@@ -21,6 +21,7 @@ import (
 	_ "masterparasite/internal/experiments" // self-registers the paper's artifacts
 	"masterparasite/internal/httpcache"
 	"masterparasite/internal/httpsim"
+	"masterparasite/internal/netsim"
 	"masterparasite/internal/parasite"
 	"masterparasite/internal/proxycache"
 	"masterparasite/internal/runner"
@@ -70,6 +71,43 @@ func benchFleet(b *testing.B, workers int) {
 
 func BenchmarkFleet_Sequential(b *testing.B) { benchFleet(b, 1) }
 func BenchmarkFleet_Parallel(b *testing.B)   { benchFleet(b, 0) }
+
+// --- the sharded netsim fabric: shard workers 1 → 8 -------------------
+
+// BenchmarkFleet_ShardedScaling drains one fixed 12 800-bot fleet
+// topology (32 LAN shards × 400 victims) at 1, 2, 4, and 8 shard
+// workers. Alongside wall-clock ns/op it reports the fabric's
+// machine-independent work accounting: events/op (total simulated
+// events — identical at every worker count, as determinism demands),
+// boundary/op (frames crossing the uplink lookahead boundary), and
+// cpath-events/op (the per-window critical path: the events the
+// busiest shard must execute serially, floored by the worker share).
+// cpath(1)/cpath(8) is the fabric's parallel slack — the speedup an
+// ideally scheduled 8-core box extracts — and stays meaningful even
+// when the benchmark host pins GOMAXPROCS to one core and flattens
+// ns/op.
+func BenchmarkFleet_ShardedScaling(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var st netsim.RunStats
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fleet, err := core.NewFleet(core.FleetConfig{LANs: 32, BotsPerLAN: 400, Seed: 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := fleet.Run(workers); err != nil {
+					b.Fatal(err)
+				}
+				st = fleet.Fabric().Stats()
+			}
+			b.ReportMetric(float64(st.Events), "events/op")
+			b.ReportMetric(float64(st.CriticalPath), "cpath-events/op")
+			b.ReportMetric(float64(st.Boundary), "boundary/op")
+		})
+	}
+}
 
 // --- one benchmark per table / figure ---------------------------------
 

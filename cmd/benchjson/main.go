@@ -26,13 +26,17 @@ import (
 	"strings"
 )
 
-// Metric is one benchmark's measured cost.
+// Metric is one benchmark's measured cost. Extra collects custom
+// b.ReportMetric units (e.g. the fleet benchmarks' "cpath-events/op"
+// critical-path measure), so machine-independent metrics ride the
+// trajectory alongside wall-clock ones.
 type Metric struct {
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	MBPerS      float64 `json:"mb_per_s,omitempty"`
-	BPerOp      float64 `json:"b_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerS      float64            `json:"mb_per_s,omitempty"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Speedup compares a benchmark's current run against the baseline.
@@ -182,6 +186,11 @@ func parseBench(in io.Reader) (map[string]Metric, benchMeta, error) {
 				m.BPerOp = v
 			case "allocs/op":
 				m.AllocsPerOp = v
+			default:
+				if m.Extra == nil {
+					m.Extra = make(map[string]float64)
+				}
+				m.Extra[f[i+1]] = v
 			}
 		}
 		out[name] = m

@@ -38,6 +38,34 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+// TestParseBenchCapturesExtraMetrics: custom b.ReportMetric units — the
+// fleet benchmarks' machine-independent work accounting — must land in
+// Metric.Extra, with the GOMAXPROCS suffix stripped from sub-benchmark
+// names ("workers=8-1" → "workers=8").
+func TestParseBenchCapturesExtraMetrics(t *testing.T) {
+	const fleetBench = `goos: linux
+BenchmarkFleet_ShardedScaling/workers=8-1         	      14	  96646996 ns/op	     24080 boundary/op	     48300 cpath-events/op	    204712 events/op
+PASS
+`
+	parsed, _, err := parseBench(strings.NewReader(fleetBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := parsed["BenchmarkFleet_ShardedScaling/workers=8"]
+	if !ok {
+		t.Fatalf("sub-benchmark name not normalised: %v", parsed)
+	}
+	if m.NsPerOp != 96646996 || m.Iterations != 14 {
+		t.Fatalf("metric = %+v", m)
+	}
+	want := map[string]float64{"boundary/op": 24080, "cpath-events/op": 48300, "events/op": 204712}
+	for unit, v := range want {
+		if m.Extra[unit] != v {
+			t.Fatalf("extra[%s] = %v, want %v (extra=%v)", unit, m.Extra[unit], v, m.Extra)
+		}
+	}
+}
+
 func TestUpdatePreservesBaselineAndComputesSpeedup(t *testing.T) {
 	file := filepath.Join(t.TempDir(), "BENCH_T.json")
 

@@ -7,6 +7,7 @@
 //	experiments -run all
 //	experiments -run table1,table5,fig3 -sites 15000 -days 100
 //	experiments -run all -parallel 8 -format json -out dist/
+//	experiments -run fleet/infection-curve,fleet/cnc-fanout -lans 64 -bots 1563 -parallel 8
 //	experiments -run all -manifest manifest.json
 //	experiments -record killchain.replay -seed 97
 //	experiments -replay killchain.replay -seed 97 -perturb 15ms
@@ -24,10 +25,17 @@
 // (-sites, -days, -seed, -payload) are generated from the specs'
 // declared params.
 //
+// -parallel N is one knob with two bindings: scenario-fleet artifacts
+// run N independent kill-chain jobs at once, and the fleet/* artifacts
+// hand N to the sharded netsim fabric as its shard worker count (see
+// docs/SCALING.md). Either way N buys wall-clock time only — it never
+// changes a rendered byte.
+//
 // Every run builds a manifest — artifact IDs, resolved params, base
 // seeds, worker count, and the SHA-256 fingerprint of each rendered
 // artifact. -out DIR writes one file per artifact plus manifest.json
-// into DIR; -manifest PATH writes the manifest alone. Because
+// into DIR (slash-scoped IDs like fleet/infection-curve nest
+// directories); -manifest PATH writes the manifest alone. Because
 // deterministic artifacts are byte-identical at any -parallel N, two
 // manifests from runs at different worker counts must carry identical
 // fingerprints.
@@ -76,7 +84,7 @@ func run(args []string, stdout io.Writer) error {
 	conditions := fs.String("conditions", "", fmt.Sprintf("link fault profile for -record/-replay (presets: %s)", strings.Join(netsim.ProfileNames(), ", ")))
 	runList := fs.String("run", "all", "comma-separated artifact ids, or 'all'")
 	format := fs.String("format", "text", fmt.Sprintf("output format: %s", strings.Join(artifact.Formats(), ", ")))
-	parallel := fs.Int("parallel", 0, "scenario worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS, 1 = sequential): scenario fleets run this many kill-chain jobs at once, and the fleet/* artifacts use it as the sharded netsim's shard worker count; deterministic artifacts are byte-identical at any value")
 	outDir := fs.String("out", "", "write one file per artifact plus manifest.json into this directory instead of stdout")
 	manifestPath := fs.String("manifest", "", "also write the run manifest to this path")
 
@@ -146,6 +154,10 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if *outDir != "" {
 			name := filepath.Join(*outDir, id+"."+renderer.Ext())
+			// Slash-scoped IDs (fleet/infection-curve) nest a directory.
+			if err := os.MkdirAll(filepath.Dir(name), 0o755); err != nil {
+				return err
+			}
 			if err := os.WriteFile(name, rendered, 0o644); err != nil {
 				return err
 			}
@@ -171,7 +183,7 @@ func run(args []string, stdout io.Writer) error {
 // printList renders the registry: one line per artifact with its
 // section, determinism, params, and title.
 func printList(w io.Writer) error {
-	fmt.Fprintf(w, "%-16s %-12s %-5s %-28s %s\n", "ID", "SECTION", "DET", "PARAMS", "TITLE")
+	fmt.Fprintf(w, "%-22s %-12s %-5s %-28s %s\n", "ID", "SECTION", "DET", "PARAMS", "TITLE")
 	for _, s := range artifact.All() {
 		var params []string
 		for _, p := range s.Params {
@@ -181,10 +193,14 @@ func printList(w io.Writer) error {
 		if !s.Deterministic {
 			det = "no"
 		}
-		if _, err := fmt.Fprintf(w, "%-16s %-12s %-5s %-28s %s\n",
+		if _, err := fmt.Fprintf(w, "%-22s %-12s %-5s %-28s %s\n",
 			s.ID, s.Section, det, strings.Join(params, ","), s.Title); err != nil {
 			return err
 		}
 	}
+	fmt.Fprintf(w, "\n-parallel N sizes the worker pool twice over: scenario-fleet artifacts run\n")
+	fmt.Fprintf(w, "N kill-chain jobs at once, and the fleet/* artifacts drain their sharded\n")
+	fmt.Fprintf(w, "netsim on N shard workers. Deterministic artifacts (DET=yes) render\n")
+	fmt.Fprintf(w, "byte-identically at every N; see docs/SCALING.md.\n")
 	return nil
 }

@@ -67,6 +67,47 @@ func TestListPrintsRegistry(t *testing.T) {
 	}
 }
 
+// TestListDocumentsParallelSemantics pins the -list epilogue: the
+// worker-flag documentation (scenario jobs vs. netsim shard workers)
+// must be part of the CLI's own output, not only the docs.
+func TestListDocumentsParallelSemantics(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"-parallel", "shard workers", "byte-identically", "docs/SCALING.md"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("listing does not document %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestOutDirNestsSlashScopedIDs runs a fleet artifact into -out: the
+// slash in fleet/infection-curve must become a subdirectory, and the
+// manifest fingerprint must cover the nested file.
+func TestOutDirNestsSlashScopedIDs(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-run", "fleet/infection-curve", "-lans", "3", "-bots", "40",
+		"-format", "json", "-out", dir}
+	if err := run(args, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	rendered, err := os.ReadFile(filepath.Join(dir, "fleet", "infection-curve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := artifact.ReadManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Artifacts) != 1 || m.Artifacts[0].ID != "fleet/infection-curve" {
+		t.Fatalf("manifest: %+v", m)
+	}
+	if artifact.Fingerprint(rendered) != m.Artifacts[0].SHA256 {
+		t.Fatal("nested artifact file does not match its manifest fingerprint")
+	}
+}
+
 func TestUnknownFormatRejected(t *testing.T) {
 	if err := run([]string{"-format", "yaml"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown format accepted")

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"masterparasite/internal/netsim"
+	"masterparasite/internal/replay"
+)
+
+// runFleet builds and drains one fleet at the given worker count,
+// optionally lossy and optionally with a replay recorder tapping every
+// shard's wire, and returns the result plus per-shard fingerprints.
+func runFleet(t *testing.T, workers int, lossy, taps bool) (FleetResult, map[string]string) {
+	t.Helper()
+	cfg := FleetConfig{LANs: 6, BotsPerLAN: 60, Seed: 42}
+	if lossy {
+		cfg.Link = &netsim.LinkProfile{
+			Name: "fleet-lossy", Loss: 0.04, Duplicate: 0.02,
+			Jitter: 400 * time.Microsecond, Seed: 9001,
+		}
+	}
+	fleet, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make(map[string]*replay.Recorder)
+	if taps {
+		attach := func(name string, n *netsim.Network) {
+			rec := replay.NewRecorder(nil)
+			replay.NewTap(rec, nil).Attach(n)
+			recs[name] = rec
+		}
+		attach("backbone", fleet.Backbone().Network())
+		for i := 0; i < fleet.LANs(); i++ {
+			attach(fleet.LANShard(i).Name(), fleet.LANShard(i).Network())
+		}
+	}
+	res, err := fleet.Run(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prints := make(map[string]string, len(recs))
+	for name, rec := range recs {
+		prints[name] = rec.Fingerprint()
+	}
+	return res, prints
+}
+
+// TestFleetDeterministicAcrossWorkers: one fleet topology drained at 1,
+// 4, and 8 shard workers produces the identical infection log, latency
+// vector, counters, and — with a replay recorder attached to every
+// shard — identical per-shard replay fingerprints, on a clean wire and
+// under a lossy, duplicating LinkProfile alike.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	for _, lossy := range []bool{false, true} {
+		name := "clean"
+		if lossy {
+			name = "lossy"
+		}
+		t.Run(name, func(t *testing.T) {
+			ref, refPrints := runFleet(t, 1, lossy, true)
+			if ref.Infected == 0 || ref.Commanded == 0 {
+				t.Fatalf("reference run did nothing: %+v", ref)
+			}
+			for _, workers := range []int{4, 8} {
+				got, prints := runFleet(t, workers, lossy, true)
+				if got.Events != ref.Events || got.Infected != ref.Infected ||
+					got.Commanded != ref.Commanded || got.CommandBytes != ref.CommandBytes ||
+					got.LastCommandAt != ref.LastCommandAt ||
+					got.LinkLost != ref.LinkLost || got.LinkDup != ref.LinkDup {
+					t.Errorf("workers=%d: result diverged:\nseq: %+v\npar: %+v", workers, ref, got)
+				}
+				for i := range ref.Infections {
+					if got.Infections[i] != ref.Infections[i] {
+						t.Fatalf("workers=%d: infection %d = %+v, sequential %+v",
+							workers, i, got.Infections[i], ref.Infections[i])
+					}
+				}
+				for i := range ref.Latencies {
+					if got.Latencies[i] != ref.Latencies[i] {
+						t.Fatalf("workers=%d: latency %d differs", workers, i)
+					}
+				}
+				for shard, want := range refPrints {
+					if prints[shard] != want {
+						t.Errorf("workers=%d: shard %s replay fingerprint %.12s, sequential %.12s",
+							workers, shard, prints[shard], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFleetKillChainCompletes pins the fleet protocol end to end on a
+// clean wire: every infected bot registers exactly once, the master
+// answers every registration, and every commanded bot's latency is at
+// least two uplink crossings (REG out, command back).
+func TestFleetKillChainCompletes(t *testing.T) {
+	res, _ := runFleet(t, 4, false, false)
+	if res.Infected != res.Registered || res.Infected != res.Commanded {
+		t.Fatalf("protocol leak: infected=%d registered=%d commanded=%d",
+			res.Infected, res.Registered, res.Commanded)
+	}
+	if res.Infected < res.Bots/2 {
+		t.Fatalf("gossip died out: %d/%d infected", res.Infected, res.Bots)
+	}
+	minRTT := 2 * 5 * time.Millisecond // two lookahead crossings
+	for i, lat := range res.Latencies {
+		if lat != 0 && lat < minRTT {
+			t.Fatalf("bot %d commanded after %v — faster than two uplink crossings (%v)", i, lat, minRTT)
+		}
+	}
+	if p50, _, _, max := res.LatencyPercentiles(); p50 == 0 || max < p50 {
+		t.Fatalf("percentiles degenerate: p50=%v max=%v", p50, max)
+	}
+	if res.Goodput() <= 0 {
+		t.Fatalf("goodput = %f with %d command bytes", res.Goodput(), res.CommandBytes)
+	}
+}
+
+// TestFleetConfigValidation: impossible topologies fail up front.
+func TestFleetConfigValidation(t *testing.T) {
+	for _, cfg := range []FleetConfig{{LANs: 0, BotsPerLAN: 5}, {LANs: 5, BotsPerLAN: 0}} {
+		if _, err := NewFleet(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// TestFleetStatsExposeParallelStructure: the fabric's RunStats must
+// show the sharded run's parallel slack — a critical path well under
+// the total at 8 workers — and be identical across worker counts
+// except for the worker-share floor.
+func TestFleetStatsExposeParallelStructure(t *testing.T) {
+	fleet, err := NewFleet(FleetConfig{LANs: 8, BotsPerLAN: 80, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	st := fleet.Fabric().Stats()
+	if st.Windows == 0 || st.Events == 0 || st.Boundary == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	if st.CriticalPath >= st.Events {
+		t.Fatalf("critical path %d not below total %d at 8 workers — no parallel slack", st.CriticalPath, st.Events)
+	}
+}

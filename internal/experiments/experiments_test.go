@@ -65,7 +65,8 @@ func assertDatasetRoundTrips(t *testing.T, res *artifact.Result) {
 
 func TestRegistryListsAllArtifacts(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table4", "table5",
-		"fig3", "fig5", "cnc", "flows", "countermeasures", "replay", "conditions"}
+		"fig3", "fig5", "cnc", "flows", "countermeasures", "replay", "conditions",
+		"fleet/infection-curve", "fleet/cnc-fanout"}
 	got := artifact.IDs()
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("registry order = %v, want %v", got, want)
@@ -74,7 +75,7 @@ func TestRegistryListsAllArtifacts(t *testing.T) {
 	for _, s := range artifact.Deterministic() {
 		det = append(det, s.ID)
 	}
-	if len(det) != 11 {
+	if len(det) != 13 {
 		t.Fatalf("deterministic artifacts = %v; only cnc measures wall-clock", det)
 	}
 }

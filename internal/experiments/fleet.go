@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"masterparasite/internal/artifact"
+	"masterparasite/internal/core"
+	"masterparasite/internal/runner"
+)
+
+// fleetSeed is the base seed of the fleet artifacts; every fleet run
+// derives its topology seed from it via runner.Seed, so both artifacts
+// are pure functions of (lans, bots).
+const fleetSeed = 211
+
+// fleetCurveBucket is the infection-curve sampling interval (virtual
+// time). Coarse enough to keep the table readable at any fleet size.
+const fleetCurveBucket = 5 * time.Millisecond
+
+// fleetWorkers resolves the shard worker count for a fleet run from
+// the artifact environment: the frontend's -parallel flag drives both
+// the scenario-fleet runner and the netsim shard pool. Results are
+// byte-identical at any value — workers buy wall-clock time only.
+func fleetWorkers(env artifact.Env) int { return env.Runner.Workers() }
+
+// InfectionCurveRow is one sampling instant of the fleet infection
+// curve: how much of the population had fallen by virtual time T.
+type InfectionCurveRow struct {
+	TimeMs   float64 `json:"time_ms"`
+	Infected int     `json:"infected"`
+	Pct      float64 `json:"pct"`
+}
+
+// InfectionCurveData is the "fleet/infection-curve" artifact dataset.
+type InfectionCurveData struct {
+	LANs       int                 `json:"lans"`
+	BotsPerLAN int                 `json:"bots_per_lan"`
+	Bots       int                 `json:"bots"`
+	Infected   int                 `json:"infected"`
+	Registered int                 `json:"registered"`
+	Commanded  int                 `json:"commanded"`
+	Events     int                 `json:"events"`
+	Curve      []InfectionCurveRow `json:"curve"`
+}
+
+// Table flattens the curve for the CSV and Markdown renderers.
+func (d InfectionCurveData) Table() (header []string, rows [][]string) {
+	header = []string{"time_ms", "infected", "pct"}
+	for _, r := range d.Curve {
+		rows = append(rows, []string{
+			strconv.FormatFloat(r.TimeMs, 'f', 1, 64),
+			fint(r.Infected),
+			strconv.FormatFloat(r.Pct, 'f', 1, 64),
+		})
+	}
+	return header, rows
+}
+
+// InfectionCurve regenerates "fleet/infection-curve": a parameterized
+// N-LANs × M-bots fleet on the sharded fabric, infection seeded per LAN
+// and spread by seeded gossip, sampled as infected population vs
+// virtual time. One fabric run; the shard pool width follows the
+// frontend's -parallel flag and never changes a byte of the output.
+func InfectionCurve(env artifact.Env) (*artifact.Result, error) {
+	lans, bots := env.Param("lans"), env.Param("bots")
+	fleet, err := core.NewFleet(core.FleetConfig{
+		LANs: lans, BotsPerLAN: bots,
+		Seed: runner.Seed(fleetSeed, "infection-curve"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := fleet.Run(fleetWorkers(env))
+	if err != nil {
+		return nil, err
+	}
+	data := InfectionCurveData{
+		LANs: lans, BotsPerLAN: bots, Bots: res.Bots,
+		Infected: res.Infected, Registered: res.Registered,
+		Commanded: res.Commanded, Events: res.Events,
+	}
+	// Sample the infection log on a fixed virtual-time grid. The log is
+	// (time, LAN, bot)-ordered, so one forward scan fills every bucket.
+	var last time.Duration
+	if n := len(res.Infections); n > 0 {
+		last = res.Infections[n-1].At
+	}
+	i := 0
+	for t := time.Duration(0); ; t += fleetCurveBucket {
+		for i < len(res.Infections) && res.Infections[i].At <= t {
+			i++
+		}
+		data.Curve = append(data.Curve, InfectionCurveRow{
+			TimeMs:   float64(t) / float64(time.Millisecond),
+			Infected: i,
+			Pct:      100 * float64(i) / float64(res.Bots),
+		})
+		if t >= last {
+			break
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet infection curve (%d LANs × %d bots = %d, gossip fanout 3, lookahead %v)\n\n",
+		lans, bots, res.Bots, fleet.Fabric().Lookahead())
+	fmt.Fprintf(&b, "%8s %9s %7s  %s\n", "t(ms)", "infected", "pct", "")
+	for _, r := range data.Curve {
+		bar := strings.Repeat("#", int(r.Pct/100*40+0.5))
+		fmt.Fprintf(&b, "%8.1f %9d %6.1f%%  %s\n", r.TimeMs, r.Infected, r.Pct, bar)
+	}
+	fmt.Fprintf(&b, "\ncoverage: %d/%d bots infected (%.1f%%); %d registered with the C&C, %d commanded\n",
+		res.Infected, res.Bots, 100*float64(res.Infected)/float64(res.Bots), res.Registered, res.Commanded)
+	fmt.Fprintf(&b, "%d events across %d shards; identical at any -parallel\n", res.Events, lans+1)
+	return &artifact.Result{Text: b.String(), Dataset: data}, nil
+}
+
+// FanoutRow is one fleet size's C&C fan-out measurement.
+type FanoutRow struct {
+	LANs       int     `json:"lans"`
+	Bots       int     `json:"bots"`
+	Infected   int     `json:"infected"`
+	Commanded  int     `json:"commanded"`
+	GoodputKBs float64 `json:"goodput_kbs"`
+	P50Ms      float64 `json:"p50_ms"`
+	P90Ms      float64 `json:"p90_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+	Events     int     `json:"events"`
+}
+
+// FanoutData is the "fleet/cnc-fanout" artifact dataset.
+type FanoutData []FanoutRow
+
+// Table flattens the sweep for the CSV and Markdown renderers.
+func (d FanoutData) Table() (header []string, rows [][]string) {
+	header = []string{"lans", "bots", "infected", "commanded",
+		"goodput_kbs", "p50_ms", "p90_ms", "p99_ms", "max_ms", "events"}
+	for _, r := range d {
+		rows = append(rows, []string{
+			fint(r.LANs), fint(r.Bots), fint(r.Infected), fint(r.Commanded),
+			strconv.FormatFloat(r.GoodputKBs, 'f', 1, 64),
+			strconv.FormatFloat(r.P50Ms, 'f', 2, 64),
+			strconv.FormatFloat(r.P90Ms, 'f', 2, 64),
+			strconv.FormatFloat(r.P99Ms, 'f', 2, 64),
+			strconv.FormatFloat(r.MaxMs, 'f', 2, 64),
+			fint(r.Events),
+		})
+	}
+	return header, rows
+}
+
+// CNCFanout regenerates "fleet/cnc-fanout": the C&C master's fan-out
+// goodput and per-bot command latency percentiles as the fleet grows —
+// quarter, half, and full size of the configured lans×bots topology.
+// The backbone shard serialises every registration and command, so the
+// sweep shows how master-side load scales while the LAN shards spread
+// across the worker pool. Fleets run one after another (each already
+// parallelises internally across its shards).
+func CNCFanout(env artifact.Env) (*artifact.Result, error) {
+	lans, bots := env.Param("lans"), env.Param("bots")
+	sizes := []int{lans / 4, lans / 2, lans}
+	var rows FanoutData
+	seen := make(map[int]bool)
+	for _, n := range sizes {
+		if n < 1 {
+			n = 1
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		fleet, err := core.NewFleet(core.FleetConfig{
+			LANs: n, BotsPerLAN: bots,
+			Seed: runner.Seed(fleetSeed, fmt.Sprintf("cnc-fanout-%d", n)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := fleet.Run(fleetWorkers(env))
+		if err != nil {
+			return nil, err
+		}
+		p50, p90, p99, max := res.LatencyPercentiles()
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		rows = append(rows, FanoutRow{
+			LANs: n, Bots: res.Bots, Infected: res.Infected, Commanded: res.Commanded,
+			GoodputKBs: res.Goodput(),
+			P50Ms:      ms(p50), P90Ms: ms(p90), P99Ms: ms(p99), MaxMs: ms(max),
+			Events: res.Events,
+		})
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "C&C fan-out vs fleet size (up to %d LANs × %d bots; one backbone master shard)\n\n", lans, bots)
+	fmt.Fprintf(&b, "%6s %8s %9s %10s %12s %8s %8s %8s %8s %10s\n",
+		"lans", "bots", "infected", "commanded", "goodput", "p50", "p90", "p99", "max", "events")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %8d %9d %10d %9.1fKB/s %6.2fms %6.2fms %6.2fms %6.2fms %10d\n",
+			r.LANs, r.Bots, r.Infected, r.Commanded, r.GoodputKBs,
+			r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs, r.Events)
+	}
+	fmt.Fprintf(&b, "\ngoodput: command payload over virtual time to the last delivery;\n")
+	fmt.Fprintf(&b, "latency: per-bot REG→first-command round trip across the shard boundary\n")
+	return &artifact.Result{Text: b.String(), Dataset: rows}, nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"masterparasite/internal/artifact"
+	"masterparasite/internal/core"
+	"masterparasite/internal/runner"
+)
+
+// fleetManifest regenerates the two fleet artifacts at the given
+// worker count and returns the run manifest plus the concatenated
+// rendered bytes.
+func fleetManifest(t *testing.T, workers int, overrides map[string]int) (*artifact.Manifest, string) {
+	t.Helper()
+	pool := runner.New(workers)
+	renderer, err := artifact.RendererFor("text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := artifact.NewManifest(renderer.Format(), pool.Workers())
+	var all strings.Builder
+	for _, id := range []string{"fleet/infection-curve", "fleet/cnc-fanout"} {
+		spec, ok := artifact.Get(id)
+		if !ok {
+			t.Fatalf("artifact %q not registered", id)
+		}
+		res, rendered, err := artifact.RunRendered(spec, pool, overrides, renderer)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		all.Write(rendered)
+		manifest.Add(spec, res, rendered)
+	}
+	return manifest, all.String()
+}
+
+// assertFleetManifestsIdentical renders both fleet artifacts at 1, 4,
+// and 8 workers and requires byte-identical output and matching
+// manifest SHA-256 fingerprints across all three runs.
+func assertFleetManifestsIdentical(t *testing.T, overrides map[string]int) {
+	t.Helper()
+	seqManifest, sequential := fleetManifest(t, 1, overrides)
+	if !strings.Contains(sequential, "infection curve") || !strings.Contains(sequential, "fan-out") {
+		t.Fatalf("sequential fleet rendering incomplete:\n%.400s", sequential)
+	}
+	seqPrints := seqManifest.Fingerprints()
+	for _, workers := range []int{4, 8} {
+		parManifest, parallel := fleetManifest(t, workers, overrides)
+		if parallel != sequential {
+			t.Errorf("workers=%d: fleet output differs from sequential\nseq:\n%.600s\npar:\n%.600s",
+				workers, sequential, parallel)
+		}
+		for id, want := range seqPrints {
+			if got := parManifest.Fingerprints()[id]; got != want {
+				t.Errorf("workers=%d: %s fingerprint %.12s, sequential %.12s", workers, id, got, want)
+			}
+		}
+	}
+}
+
+// TestFleetSmoke is the `make fleet-smoke` gate: a small sharded fleet
+// rendered on a parallel pool must fingerprint identically to the
+// single-shard-worker (sequential) run. Small enough for every CI tier.
+func TestFleetSmoke(t *testing.T) {
+	assertFleetManifestsIdentical(t, map[string]int{"lans": 4, "bots": 50})
+}
+
+// TestFleetHundredKBotsByteIdentical is the acceptance criterion at
+// full scale: a 10⁵-bot fleet (64 LANs × 1563 bots = 100 032) runs to
+// completion and renders fleet/infection-curve and fleet/cnc-fanout
+// byte-identically at -parallel 1, 4, and 8, checkable from the
+// manifest fingerprints alone.
+func TestFleetHundredKBotsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drains ~10⁵-bot fleets eight times; run without -short (tier-1 covers it)")
+	}
+	assertFleetManifestsIdentical(t, map[string]int{"lans": 64, "bots": 1563})
+}
+
+// TestFleetMillionBots is the soak tier of the scale story: one 10⁶-bot
+// fleet (64 LANs × 15625 bots) drained to completion on 8 shard
+// workers, with the infection reaching the expected giant-component
+// share and every registered bot commanded.
+func TestFleetMillionBots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁶-bot fleet; run without -short")
+	}
+	fleet, err := core.NewFleet(core.FleetConfig{LANs: 64, BotsPerLAN: 15625, Seed: 1_000_003})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fleet.Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bots != 1_000_000 {
+		t.Fatalf("fleet holds %d bots, want 10⁶", res.Bots)
+	}
+	// Fanout-3 gossip reaches the ~94% giant component of the random
+	// contact graph; far less means the spread collapsed.
+	if res.Infected < res.Bots*85/100 {
+		t.Fatalf("only %d/%d bots infected", res.Infected, res.Bots)
+	}
+	if res.Registered != res.Infected || res.Commanded != res.Infected {
+		t.Fatalf("C&C round trips incomplete: infected=%d registered=%d commanded=%d",
+			res.Infected, res.Registered, res.Commanded)
+	}
+	st := fleet.Fabric().Stats()
+	if st.Events < 10_000_000 {
+		t.Fatalf("million-bot fleet executed only %d events", st.Events)
+	}
+	t.Logf("10⁶ bots: %d events, %d windows, %d boundary frames, critical path %d (%.1fx slack)",
+		st.Events, st.Windows, st.Boundary, st.CriticalPath, float64(st.Events)/float64(st.CriticalPath))
+}

@@ -11,6 +11,8 @@ var (
 	paramSeed     = artifact.Param{Name: "seed", Usage: "corpus seed for fig3/fig5", Default: 1, Min: 1}
 	paramPayload  = artifact.Param{Name: "payload", Usage: "C&C payload bytes for the throughput run", Default: 64 * 1024, Min: 1}
 	paramAttempts = artifact.Param{Name: "attempts", Usage: "injection attempts per link profile for conditions", Default: 5, Min: 1}
+	paramLANs     = artifact.Param{Name: "lans", Usage: "LAN shards for the fleet/* artifacts", Default: 16, Min: 1}
+	paramBots     = artifact.Param{Name: "bots", Usage: "victims per LAN for the fleet/* artifacts", Default: 250, Min: 1}
 )
 
 // init self-registers every experiment as an artifact.Spec, in the
@@ -70,6 +72,16 @@ func init() {
 			ID: "conditions", Title: "Kill chain vs network conditions (fault-injection matrix)",
 			Section: "robustness", Seed: conditionsSeed, Deterministic: true, Run: Conditions,
 			Params: []artifact.Param{paramAttempts, paramPayload},
+		},
+		{
+			ID: "fleet/infection-curve", Title: "Fleet: infected population vs virtual time",
+			Section: "scale", Seed: fleetSeed, Deterministic: true, Run: InfectionCurve,
+			Params: []artifact.Param{paramLANs, paramBots},
+		},
+		{
+			ID: "fleet/cnc-fanout", Title: "Fleet: C&C fan-out goodput and latency vs fleet size",
+			Section: "scale", Seed: fleetSeed, Deterministic: true, Run: CNCFanout,
+			Params: []artifact.Param{paramLANs, paramBots},
 		},
 	} {
 		artifact.MustRegister(s)

@@ -221,6 +221,47 @@ func TestRealArtifactOverRealHTTPMatchesBatchManifest(t *testing.T) {
 	}
 }
 
+// TestFleetArtifactThroughDaemon drives a sharded-netsim fleet artifact
+// through the real net/http daemon: the slash-scoped spec route must
+// resolve fleet/infection-curve, the run must complete with the LAN/bot
+// overrides applied, and the served bytes must fingerprint identically
+// to the batch render — the same byte-identity contract the -parallel
+// flag promises (the daemon's worker pool doubles as the fabric's shard
+// worker count).
+func TestFleetArtifactThroughDaemon(t *testing.T) {
+	t.Parallel()
+	srv := openServer(t, labd.Config{Workers: 4})
+	do := httpTransport(t, srv)
+
+	if resp := do(t, "GET", "/v1/specs/fleet/infection-curve", nil); resp.Status != http.StatusOK {
+		t.Fatalf("slash-scoped spec route = %d %q", resp.Status, resp.Body)
+	}
+	resp := do(t, "POST", "/v1/runs", []byte(`{"spec":"fleet/infection-curve","params":{"lans":3,"bots":40},"format":"text"}`))
+	if resp.Status != http.StatusAccepted {
+		t.Fatalf("enqueue = %d %q", resp.Status, resp.Body)
+	}
+	final := waitDone(t, srv, "run-000001")
+	if final.Status != labd.StatusDone {
+		t.Fatalf("fleet run failed: %+v", final)
+	}
+
+	got := do(t, "GET", "/v1/runs/run-000001/artifact", nil)
+	spec, _ := artifact.Get("fleet/infection-curve")
+	renderer, _ := artifact.RendererFor("text")
+	res, rendered, err := artifact.RunRendered(spec, runner.New(1), map[string]int{"lans": 3, "bots": 40}, renderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := artifact.NewManifest("text", 1)
+	manifest.Add(spec, res, rendered)
+	if !bytes.Equal(got.Body, rendered) {
+		t.Fatalf("fleet artifact served over net/http diverges from the sequential batch render:\n%q\nvs\n%q", got.Body, rendered)
+	}
+	if final.SHA256 != manifest.Artifacts[0].SHA256 {
+		t.Fatalf("served fingerprint %s != batch manifest %s", final.SHA256, manifest.Artifacts[0].SHA256)
+	}
+}
+
 // TestLiveSSEMatchesSnapshot subscribes to a run's event stream over a
 // real socket while the run executes: the streamed bytes, read live
 // until the server closes the stream after the terminal event, must

@@ -1,0 +1,270 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// buildStar assembles the canonical test topology: `lans` LAN shards,
+// each with `bots` stations and an uplink to a hub shard hosting one
+// echo server. Bots fire seeded request bursts at the hub; the hub
+// echoes back; every reply triggers one more local broadcast round so
+// traffic mixes intra-shard and cross-shard events across several
+// windows. When lossy is set, every LAN segment gets a faulty link
+// profile; shardPrints, when non-nil, receives one wire-event stream
+// hash per shard (a wire tap attached to every shard's network).
+func buildStar(t *testing.T, lans, bots int, lossy bool, shardPrints map[string]*uint64) (*Fabric, []*int) {
+	t.Helper()
+	fab := NewFabric()
+	hub := fab.MustAddShard("hub")
+	hubSeg := hub.Network().MustSegment("backbone", 500*time.Microsecond)
+	var echoed int
+	counters := []*int{&echoed}
+	hubSeg.MustAttach("hub-server", 100*time.Microsecond, nil)
+	srv := hubSeg.lookup("hub-server")
+	srv.SetHandler(func(_ time.Duration, pkt Packet) {
+		echoed++
+		reply := append([]byte("echo:"), pkt.Payload...)
+		srv.Send(Packet{Dst: pkt.Src, Proto: ProtoRaw, Payload: reply})
+	})
+	if err := hub.Uplink(hubSeg, "gw-hub", 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	attachPrint := func(name string, n *Network) {
+		if shardPrints == nil {
+			return
+		}
+		h := new(uint64)
+		*h = 14695981039346656037 // fnv64a offset basis
+		shardPrints[name] = h
+		n.SetWireTap(func(ev WireEvent) {
+			mix := func(b []byte) {
+				for _, c := range b {
+					*h ^= uint64(c)
+					*h *= 1099511628211
+				}
+			}
+			mix([]byte(fmt.Sprintf("%d|%d|%s|%s|%s|%d|", ev.Kind, ev.Time, ev.Segment, ev.Src, ev.Dst, ev.Proto)))
+			mix(ev.Payload)
+		})
+	}
+	attachPrint("hub", hub.Network())
+
+	for l := 0; l < lans; l++ {
+		shard := fab.MustAddShard(fmt.Sprintf("lan%02d", l))
+		seg := shard.Network().MustSegment("wifi", 200*time.Microsecond)
+		if lossy {
+			seg.SetLinkProfile(LinkProfile{
+				Name: "lossy", Loss: 0.05, Duplicate: 0.02,
+				Jitter: 300 * time.Microsecond, Seed: uint64(1000 + l),
+			})
+		}
+		received := new(int)
+		counters = append(counters, received)
+		rng := rand.New(rand.NewSource(int64(7 + l)))
+		for b := 0; b < bots; b++ {
+			addr := Addr(fmt.Sprintf("l%d-b%d", l, b))
+			var ifc *Interface
+			ifc = seg.MustAttach(addr, time.Duration(rng.Intn(300))*time.Microsecond,
+				func(_ time.Duration, pkt Packet) {
+					*received++
+					if len(pkt.Payload) > 4 && string(pkt.Payload[:5]) == "echo:" {
+						// One local gossip round per echo: intra-shard load.
+						peer := Addr(fmt.Sprintf("l%d-b%d", l, (b+1)%bots))
+						ifc.Send(Packet{Dst: peer, Proto: ProtoRaw, Payload: []byte("gossip")})
+					}
+				})
+			at := time.Duration(rng.Intn(4000)) * time.Microsecond
+			payload := []byte(fmt.Sprintf("req-%d-%d", l, b))
+			shard.Network().Schedule(at, func() {
+				ifc.Send(Packet{Dst: "hub-server", Proto: ProtoRaw, Payload: payload})
+			})
+		}
+		if err := shard.Uplink(seg, Addr(fmt.Sprintf("gw-l%d", l)), 2*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		attachPrint(shard.Name(), shard.Network())
+	}
+	return fab, counters
+}
+
+// runStar builds and drains one star fleet and returns a comparable
+// outcome: total events, the per-counter values, and (optionally) the
+// per-shard wire fingerprints.
+func runStar(t *testing.T, workers, lans, bots int, lossy, taps bool) (int, []int, map[string]uint64) {
+	t.Helper()
+	var prints map[string]*uint64
+	if taps {
+		prints = make(map[string]*uint64)
+	}
+	fab, counters := buildStar(t, lans, bots, lossy, prints)
+	events, err := fab.Run(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int, len(counters))
+	for i, c := range counters {
+		vals[i] = *c
+	}
+	final := make(map[string]uint64, len(prints))
+	for name, h := range prints {
+		final[name] = *h
+	}
+	return events, vals, final
+}
+
+// TestFabricDeterministicAcrossWorkers is the sharded engine's core
+// guarantee: the same topology drained at 1, 4, and 8 workers executes
+// the identical event set — same event count, same per-host delivery
+// counters, and (with a wire tap on every shard) the identical
+// per-shard wire-event stream, clean and under a lossy, duplicating,
+// jittery LinkProfile alike.
+func TestFabricDeterministicAcrossWorkers(t *testing.T) {
+	for _, lossy := range []bool{false, true} {
+		name := "clean"
+		if lossy {
+			name = "lossy"
+		}
+		t.Run(name, func(t *testing.T) {
+			refEvents, refVals, refPrints := runStar(t, 1, 6, 40, lossy, true)
+			if refEvents == 0 || refVals[0] == 0 {
+				t.Fatalf("reference run did nothing: events=%d echoed=%d", refEvents, refVals[0])
+			}
+			for _, workers := range []int{4, 8} {
+				events, vals, prints := runStar(t, workers, 6, 40, lossy, true)
+				if events != refEvents {
+					t.Errorf("workers=%d: %d events, sequential executed %d", workers, events, refEvents)
+				}
+				for i := range vals {
+					if vals[i] != refVals[i] {
+						t.Errorf("workers=%d: counter %d = %d, sequential %d", workers, i, vals[i], refVals[i])
+					}
+				}
+				for shard, want := range refPrints {
+					if prints[shard] != want {
+						t.Errorf("workers=%d: shard %s wire stream fingerprint %x, sequential %x",
+							workers, shard, prints[shard], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFabricCrossShardEcho pins the boundary semantics: a request
+// crosses src LAN → hub and back, the echo arrives no earlier than two
+// lookahead crossings after the send, and every bot's request is
+// answered exactly once on a clean wire.
+func TestFabricCrossShardEcho(t *testing.T) {
+	_, vals, _ := runStar(t, 4, 3, 10, false, false)
+	echoed := vals[0]
+	if want := 3 * 10; echoed != want {
+		t.Fatalf("hub echoed %d requests, want %d", echoed, want)
+	}
+	for l, received := range vals[1:] {
+		// Each bot hears its own echo plus one gossip frame per peer round.
+		if want := 2 * 10; received != want {
+			t.Errorf("lan%02d heard %d deliveries, want %d", l, received, want)
+		}
+	}
+}
+
+// TestFabricZeroLookaheadRejected: a zero (or negative) minimum uplink
+// latency would break the conservative window protocol, so declaring
+// one fails loudly instead of producing silently nondeterministic runs.
+func TestFabricZeroLookaheadRejected(t *testing.T) {
+	for _, latency := range []time.Duration{0, -time.Millisecond} {
+		fab := NewFabric()
+		s := fab.MustAddShard("lan")
+		seg := s.Network().MustSegment("wifi", time.Microsecond)
+		err := s.Uplink(seg, "gw", latency)
+		if !errors.Is(err, ErrZeroLookahead) {
+			t.Fatalf("latency %v: err = %v, want ErrZeroLookahead", latency, err)
+		}
+	}
+}
+
+// TestFabricRejectsDuplicateOwnership: one address attached on two
+// shards has no deterministic boundary route, so sealing fails.
+func TestFabricRejectsDuplicateOwnership(t *testing.T) {
+	fab := NewFabric()
+	for _, name := range []string{"a", "b"} {
+		s := fab.MustAddShard(name)
+		seg := s.Network().MustSegment("wifi", time.Microsecond)
+		seg.MustAttach("same-addr", 0, nil)
+		if err := s.Uplink(seg, Addr("gw-"+name), time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fab.Run(1); err == nil {
+		t.Fatal("fabric sealed with one address owned by two shards")
+	}
+}
+
+// TestFabricIsolatedShards: a fabric with no uplinks degenerates to
+// independent worlds, each drained to quiescence in one parallel shot.
+func TestFabricIsolatedShards(t *testing.T) {
+	fab := NewFabric()
+	fired := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		s := fab.MustAddShard(fmt.Sprintf("iso%d", i))
+		n := i
+		s.Network().Schedule(time.Millisecond, func() { fired[n]++ })
+	}
+	events, err := fab.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != 3 {
+		t.Fatalf("executed %d events, want 3", events)
+	}
+	for i, f := range fired {
+		if f != 1 {
+			t.Errorf("shard %d fired %d times", i, f)
+		}
+	}
+}
+
+// TestFabricUnroutableCounted: frames to addresses no shard owns are
+// dropped at the boundary and counted, deterministically.
+func TestFabricUnroutableCounted(t *testing.T) {
+	fab := NewFabric()
+	s := fab.MustAddShard("lan")
+	seg := s.Network().MustSegment("wifi", time.Microsecond)
+	ifc := seg.MustAttach("bot", 0, nil)
+	if err := s.Uplink(seg, "gw", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	fab.MustAddShard("empty")
+	s.Network().Schedule(0, func() {
+		ifc.Send(Packet{Dst: "nowhere", Proto: ProtoRaw, Payload: []byte("lost")})
+	})
+	if _, err := fab.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Unroutable() != 1 {
+		t.Fatalf("unroutable = %d, want 1", s.Unroutable())
+	}
+}
+
+// TestSegmentAddressIndex guards the O(1) lookup the fleet scale rests
+// on: attach rejects duplicates and delivery finds the addressee
+// through the index.
+func TestSegmentAddressIndex(t *testing.T) {
+	n := New()
+	seg := n.MustSegment("idx", time.Microsecond)
+	got := 0
+	seg.MustAttach("a", 0, func(_ time.Duration, _ Packet) { got++ })
+	b := seg.MustAttach("b", 0, nil)
+	if _, err := seg.Attach("a", 0, nil); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("duplicate attach: err = %v, want ErrAddrInUse", err)
+	}
+	b.Send(Packet{Dst: "a", Proto: ProtoRaw, Payload: []byte("x")})
+	n.Run(0)
+	if got != 1 {
+		t.Fatalf("indexed delivery reached handler %d times, want 1", got)
+	}
+}

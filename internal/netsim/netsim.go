@@ -466,6 +466,19 @@ func (n *Network) Run(maxEvents int) int {
 	return executed
 }
 
+// Pending reports how many events are queued.
+func (n *Network) Pending() int { return len(n.heap) }
+
+// NextEventAt reports the timestamp of the earliest queued event. The
+// sharded fabric uses it to pick the next conservative time window, so
+// idle stretches of virtual time are skipped instead of spun through.
+func (n *Network) NextEventAt() (time.Duration, bool) {
+	if len(n.heap) == 0 {
+		return 0, false
+	}
+	return n.events[n.heap[0]].at, true
+}
+
 // RunUntil drains events with timestamps no later than deadline.
 func (n *Network) RunUntil(deadline time.Duration) int {
 	executed := 0
@@ -487,7 +500,7 @@ func (n *Network) NewSegment(name string, latency time.Duration) (*Segment, erro
 	if _, dup := n.segments[name]; dup {
 		return nil, fmt.Errorf("netsim: duplicate segment %q", name)
 	}
-	s := &Segment{net: n, name: name, latency: latency}
+	s := &Segment{net: n, name: name, latency: latency, byAddr: make(map[Addr]*Interface)}
 	n.segments[name] = s
 	return s, nil
 }
@@ -509,6 +522,7 @@ type Segment struct {
 	name    string
 	latency time.Duration
 	ifaces  []*Interface
+	byAddr  map[Addr]*Interface // address index: attach checks and delivery lookups stay O(1) at fleet scale
 	taps    []*Tap
 	down    bool
 
@@ -543,15 +557,17 @@ var ErrAddrInUse = errors.New("netsim: address already attached to segment")
 // typically has a smaller delay than the remote web server, which is what
 // lets its spoofed segment win the race (§V).
 func (s *Segment) Attach(addr Addr, extraDelay time.Duration, h Handler) (*Interface, error) {
-	for _, ifc := range s.ifaces {
-		if ifc.addr == addr {
-			return nil, fmt.Errorf("%w: %s on %s", ErrAddrInUse, addr, s.name)
-		}
+	if _, dup := s.byAddr[addr]; dup {
+		return nil, fmt.Errorf("%w: %s on %s", ErrAddrInUse, addr, s.name)
 	}
 	ifc := &Interface{seg: s, addr: addr, delay: extraDelay, handler: h}
 	s.ifaces = append(s.ifaces, ifc)
+	s.byAddr[addr] = ifc
 	return ifc, nil
 }
+
+// lookup returns the interface attached under addr, or nil.
+func (s *Segment) lookup(addr Addr) *Interface { return s.byAddr[addr] }
 
 // MustAttach is Attach for program initialisation; it panics on error.
 func (s *Segment) MustAttach(addr Addr, extraDelay time.Duration, h Handler) *Interface {
@@ -668,13 +684,7 @@ func (s *Segment) transmitPayload(senderDelay time.Duration, src, dst Addr, prot
 		}
 		return
 	}
-	var target *Interface
-	for _, ifc := range s.ifaces {
-		if ifc.addr == dst {
-			target = ifc
-			break
-		}
-	}
+	target := s.byAddr[dst]
 	if target == nil && len(s.taps) == 0 {
 		if s.net.wiretap != nil {
 			// Sent onto the wire, but nobody is attached to hear it.
@@ -765,12 +775,7 @@ type Router struct {
 func NewRouter(addr Addr, segA, segB *Segment, delay time.Duration) (*Router, error) {
 	r := &Router{}
 	known := func(seg *Segment, dst Addr) bool {
-		for _, ifc := range seg.ifaces {
-			if ifc.addr == dst {
-				return true
-			}
-		}
-		return false
+		return seg.lookup(dst) != nil
 	}
 	fwd := func(to *Segment) Handler {
 		return func(_ time.Duration, pkt Packet) {
